@@ -1,0 +1,83 @@
+#include "bench_common.h"
+
+#include <cstdarg>
+#include <cstring>
+#include <thread>
+
+namespace slidb::bench {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) {
+  std::string line;
+  for (const auto& h : headers) {
+    widths.push_back(h.size() + 2 < 12 ? 12 : h.size() + 2);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-*s", static_cast<int>(widths.back()),
+                  h.c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+  std::printf("%s\n", std::string(line.size(), '-').c_str());
+}
+
+void TablePrinter::Row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const size_t w = i < widths.size() ? widths[i] : 12;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-*s", static_cast<int>(w),
+                  cells[i].c_str());
+    line += buf;
+    if (cells[i].size() >= w) line += ' ';  // keep long cells separated
+  }
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+}
+
+namespace {
+uint64_t g_sim_queue_ns = 100;
+}  // namespace
+
+uint64_t SimQueueWorkNs() { return g_sim_queue_ns; }
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--duration=", 11) == 0) {
+      args.duration_s = std::atof(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--warmup=", 9) == 0) {
+      args.warmup_s = std::atof(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      args.max_threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--sim=", 6) == 0) {
+      args.sim_queue_ns = std::strtoull(argv[i] + 6, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+      args.duration_s = 0.25;
+      args.warmup_s = 0.1;
+    }
+  }
+  g_sim_queue_ns = args.sim_queue_ns;
+  return args;
+}
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::vector<int> ThreadLadder(int max_threads) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int cap = max_threads > 0 ? max_threads : (hw >= 2 ? hw * 8 : 16);
+  std::vector<int> ladder;
+  for (int t = 1; t <= cap; t *= 2) ladder.push_back(t);
+  if (ladder.back() != cap) ladder.push_back(cap);
+  return ladder;
+}
+
+}  // namespace slidb::bench

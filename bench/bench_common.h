@@ -1,0 +1,40 @@
+// Shared helpers for the per-figure benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace slidb::bench {
+
+/// Print an aligned table row to stdout and mirror it as CSV to stderr
+/// when --csv is passed (set by ParseArgs).
+struct TablePrinter {
+  explicit TablePrinter(std::vector<std::string> headers);
+  void Row(const std::vector<std::string>& cells);
+
+  std::vector<size_t> widths;
+};
+
+/// Common CLI knobs for the figure benches.
+struct BenchArgs {
+  double duration_s = 1.0;     ///< measurement window per data point
+  double warmup_s = 0.3;       ///< discarded warm-up window
+  int max_threads = 0;         ///< 0 = default ladder
+  uint64_t seed = 42;
+  bool quick = false;          ///< CI mode: tiny datasets, short windows
+  uint64_t sim_queue_ns = 100;  ///< simulated queue work per entry (--sim=NS)
+};
+
+BenchArgs ParseArgs(int argc, char** argv);
+
+/// The simulated lock-queue work set by the last ParseArgs call (the
+/// workload factories read it when building databases).
+uint64_t SimQueueWorkNs();
+
+std::string Fmt(const char* fmt, ...);
+
+/// Thread ladder standing in for the paper's "hardware contexts utilized".
+std::vector<int> ThreadLadder(int max_threads);
+
+}  // namespace slidb::bench

@@ -1,0 +1,35 @@
+// Figure 6: execution time breakdowns at peak throughput for each
+// transaction and mix, SLI off. The paper's findings: the lock manager is
+// the dominant contention source for the short (TM1/TPC-B) transactions;
+// lock-manager useful work is 10-20%; the big TPC-C transactions
+// (Delivery, StockLevel) show no lock-manager bottleneck.
+#include <cstdio>
+
+#include "fig_common.h"
+
+using namespace slidb;
+using namespace slidb::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  std::printf(
+      "Figure 6: work breakdown at peak throughput per transaction (SLI off)\n\n");
+
+  TablePrinter table({"workload", "peak_thr", "tps", "lm_work%", "lm_cont%",
+                      "log%", "other_work%", "other_cont%"});
+  for (auto& entry : PaperRoster(args.quick)) {
+    auto pw = entry.make(/*sli=*/false);
+    int peak_threads = 0;
+    const DriverResult r =
+        RunAtPeak(*pw->db, *pw->workload, args, &peak_threads);
+    const BreakdownRow b = ComputeBreakdown(r.profile);
+    table.Row({pw->label, Fmt("%d", peak_threads), Fmt("%.0f", r.tps),
+               Fmt("%.1f", b.lockmgr_work), Fmt("%.1f", b.lockmgr_cont),
+               Fmt("%.1f", b.log_pct), Fmt("%.1f", b.other_work),
+               Fmt("%.1f", b.other_cont)});
+  }
+  std::printf(
+      "\nExpected shape (paper): small TM1/TPC-B transactions show the\n"
+      "largest lm_cont%%; Delivery and StockLevel show almost none.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fixed-size pages and page identifiers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace slidb {
+
+inline constexpr size_t kPageSize = 8192;
+
+/// Identifies a page: (file, page number). Files correspond to heap files /
+/// physical table storage.
+struct PageId {
+  uint32_t file_id = 0;
+  uint64_t page_no = 0;
+
+  bool operator==(const PageId& o) const {
+    return file_id == o.file_id && page_no == o.page_no;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = (static_cast<uint64_t>(file_id) << 48) ^ page_no;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  }
+};
+
+/// Raw page bytes. Interpreted by the storage layer (slotted pages, index
+/// nodes); the buffer pool treats pages as opaque.
+struct alignas(64) Page {
+  uint8_t bytes[kPageSize];
+
+  void Zero() { std::memset(bytes, 0, sizeof(bytes)); }
+};
+
+}  // namespace slidb
+
+template <>
+struct std::hash<slidb::PageId> {
+  size_t operator()(const slidb::PageId& id) const noexcept {
+    return static_cast<size_t>(id.Hash());
+  }
+};

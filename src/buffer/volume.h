@@ -1,0 +1,47 @@
+// Volume: the in-memory backing store standing in for the disk array.
+// The paper stores the database on an in-memory filesystem and charges an
+// artificial per-I/O latency; slidb does the same — the volume itself is
+// plain memory, and the buffer pool charges the configured delay around
+// volume reads/writes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/buffer/page.h"
+#include "src/util/latch.h"
+#include "src/util/status.h"
+
+namespace slidb {
+
+class Volume {
+ public:
+  Volume() = default;
+  Volume(const Volume&) = delete;
+  Volume& operator=(const Volume&) = delete;
+
+  /// Create a new file; returns its id.
+  uint32_t CreateFile();
+
+  /// Extend `file_id` by one zeroed page; returns the new page number.
+  uint64_t AllocatePage(uint32_t file_id);
+
+  uint64_t PageCount(uint32_t file_id);
+
+  /// Copy a page out of / into the volume. The caller (buffer pool) charges
+  /// any simulated I/O latency.
+  Status ReadPage(const PageId& id, Page* out);
+  Status WritePage(const PageId& id, const Page& in);
+
+ private:
+  struct File {
+    SpinLatch latch;
+    std::vector<std::unique_ptr<Page>> pages;
+  };
+
+  SpinLatch files_latch_;
+  std::vector<std::unique_ptr<File>> files_;
+};
+
+}  // namespace slidb

@@ -1,0 +1,93 @@
+// Catalog: tables and indexes. Schema changes are a setup-phase operation
+// (not transactional, not thread-safe against concurrent data access) —
+// the workloads create their schema once before the driver starts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/btree.h"
+#include "src/storage/hash_index.h"
+#include "src/storage/heap_file.h"
+
+namespace slidb {
+
+using TableId = uint32_t;
+using IndexId = uint32_t;
+
+enum class IndexKind : uint8_t {
+  kBTree,  ///< ordered; supports range and reverse scans
+  kHash,   ///< exact match only; lower constant cost
+};
+
+struct TableInfo {
+  std::string name;
+  std::unique_ptr<HeapFile> heap;
+  std::vector<IndexId> indexes;
+};
+
+struct IndexInfo {
+  std::string name;
+  IndexKind kind;
+  TableId table;
+  bool unique;
+  std::unique_ptr<BTree> btree;     // kind == kBTree
+  std::unique_ptr<HashIndex> hash;  // kind == kHash
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  TableId AddTable(std::string name, std::unique_ptr<HeapFile> heap) {
+    tables_.push_back(TableInfo{std::move(name), std::move(heap), {}});
+    return static_cast<TableId>(tables_.size() - 1);
+  }
+
+  IndexId AddIndex(TableId table, std::string name, IndexKind kind,
+                   bool unique) {
+    IndexInfo info;
+    info.name = std::move(name);
+    info.kind = kind;
+    info.table = table;
+    info.unique = unique;
+    if (kind == IndexKind::kBTree) {
+      info.btree = std::make_unique<BTree>();
+    } else {
+      info.hash = std::make_unique<HashIndex>();
+    }
+    indexes_.push_back(std::move(info));
+    const IndexId id = static_cast<IndexId>(indexes_.size() - 1);
+    tables_[table].indexes.push_back(id);
+    return id;
+  }
+
+  TableInfo& table(TableId id) { return tables_.at(id); }
+  IndexInfo& index(IndexId id) { return indexes_.at(id); }
+  const TableInfo& table(TableId id) const { return tables_.at(id); }
+  const IndexInfo& index(IndexId id) const { return indexes_.at(id); }
+
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_indexes() const { return indexes_.size(); }
+
+  /// Linear name lookup (setup/debug convenience).
+  bool FindTable(const std::string& name, TableId* id) const {
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      if (tables_[i].name == name) {
+        *id = static_cast<TableId>(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<TableInfo> tables_;
+  std::vector<IndexInfo> indexes_;
+};
+
+}  // namespace slidb

@@ -1,0 +1,237 @@
+#include "src/engine/database.h"
+
+#include <cstring>
+
+namespace slidb {
+
+Database::Database(DatabaseOptions options) : options_(options) {
+  volume_ = std::make_unique<Volume>();
+  buffer_pool_ = std::make_unique<BufferPool>(volume_.get(), options_.buffer);
+  log_manager_ = std::make_unique<LogManager>(options_.log);
+  lock_manager_ = std::make_unique<LockManager>(options_.lock);
+  txn_manager_ = std::make_unique<TransactionManager>(lock_manager_.get(),
+                                                      log_manager_.get());
+}
+
+TableId Database::CreateTable(const std::string& name) {
+  return catalog_.AddTable(name, std::make_unique<HeapFile>(buffer_pool_.get()));
+}
+
+IndexId Database::CreateIndex(TableId table, const std::string& name,
+                              IndexKind kind, bool unique) {
+  return catalog_.AddIndex(table, name, kind, unique);
+}
+
+std::unique_ptr<AgentContext> Database::CreateAgent(uint64_t seed) {
+  const uint32_t id =
+      static_cast<uint32_t>(agent_ids_.fetch_add(1, std::memory_order_relaxed));
+  return std::make_unique<AgentContext>(id, seed);
+}
+
+Transaction* Database::Begin(AgentContext* agent) {
+  return txn_manager_->Begin(agent);
+}
+
+Status Database::Commit(AgentContext* agent) {
+  return txn_manager_->Commit(agent);
+}
+
+void Database::Abort(AgentContext* agent) { txn_manager_->Abort(agent); }
+
+Status Database::LockRow(AgentContext* agent, TableId table, Rid rid,
+                         LockMode mode) {
+  LockClient* c = &agent->txn().lock_client();
+  if (!options_.row_locking) {
+    // Coarse granularity: S/X on the whole table.
+    const LockMode table_mode =
+        (mode == LockMode::kS) ? LockMode::kS : LockMode::kX;
+    return lock_manager_->Lock(c, LockId::Table(options_.db_id, table),
+                               table_mode);
+  }
+  return lock_manager_->Lock(
+      c, LockId::Row(options_.db_id, table, rid.page_no, rid.slot), mode);
+}
+
+void Database::LogRowOp(AgentContext* agent, LogRecordType type, TableId table,
+                        Rid rid, std::span<const uint8_t> rec) {
+  // Compact physiological record: table + rid header, then the after-image.
+  struct Header {
+    uint32_t table;
+    uint16_t slot;
+    uint8_t pad[2];
+    uint64_t page_no;
+  } hdr{table, rid.slot, {0, 0}, rid.page_no};
+  uint8_t buf[sizeof(Header) + 1024];
+  const size_t body = rec.size() < 1024 ? rec.size() : 1024;
+  std::memcpy(buf, &hdr, sizeof(hdr));
+  if (body > 0) std::memcpy(buf + sizeof(hdr), rec.data(), body);
+  log_manager_->Append(agent->txn().id(), type, buf,
+                       static_cast<uint32_t>(sizeof(hdr) + body));
+  agent->txn().AddLogBytes(sizeof(hdr) + body);
+}
+
+Status Database::Insert(AgentContext* agent, TableId table,
+                        std::span<const uint8_t> rec, Rid* rid) {
+  // Announce write intent on the table before touching pages.
+  LockClient* c = &agent->txn().lock_client();
+  if (options_.row_locking) {
+    SLIDB_RETURN_NOT_OK(lock_manager_->Lock(
+        c, LockId::Table(options_.db_id, table), LockMode::kIX));
+  }
+  HeapFile* heap = catalog_.table(table).heap.get();
+  SLIDB_RETURN_NOT_OK(heap->Insert(rec, rid));
+  // The row becomes properly visible only through indexes, which are
+  // populated after this X lock is held (see header note).
+  const Status lock_st = LockRow(agent, table, *rid, LockMode::kX);
+  if (!lock_st.ok()) {
+    heap->Delete(*rid);
+    return lock_st;
+  }
+  LogRowOp(agent, LogRecordType::kInsert, table, *rid, rec);
+  const Rid undo_rid = *rid;
+  agent->txn().AddUndo([heap, undo_rid] { heap->Delete(undo_rid); });
+  return Status::OK();
+}
+
+Status Database::Read(AgentContext* agent, TableId table, Rid rid, void* buf,
+                      size_t len) {
+  SLIDB_RETURN_NOT_OK(LockRow(agent, table, rid, LockMode::kS));
+  return catalog_.table(table).heap->ReadInto(rid, buf, len);
+}
+
+Status Database::ReadString(AgentContext* agent, TableId table, Rid rid,
+                            std::string* out) {
+  SLIDB_RETURN_NOT_OK(LockRow(agent, table, rid, LockMode::kS));
+  return catalog_.table(table).heap->Read(rid, out);
+}
+
+Status Database::Update(AgentContext* agent, TableId table, Rid rid,
+                        std::span<const uint8_t> rec) {
+  SLIDB_RETURN_NOT_OK(LockRow(agent, table, rid, LockMode::kX));
+  HeapFile* heap = catalog_.table(table).heap.get();
+  // Capture the before-image for undo.
+  std::string before;
+  SLIDB_RETURN_NOT_OK(heap->Read(rid, &before));
+  SLIDB_RETURN_NOT_OK(heap->Update(rid, rec));
+  LogRowOp(agent, LogRecordType::kUpdate, table, rid, rec);
+  agent->txn().AddUndo([heap, rid, before = std::move(before)] {
+    heap->Update(rid, {reinterpret_cast<const uint8_t*>(before.data()),
+                       before.size()});
+  });
+  return Status::OK();
+}
+
+Status Database::Delete(AgentContext* agent, TableId table, Rid rid) {
+  SLIDB_RETURN_NOT_OK(LockRow(agent, table, rid, LockMode::kX));
+  HeapFile* heap = catalog_.table(table).heap.get();
+  std::string before;
+  SLIDB_RETURN_NOT_OK(heap->Read(rid, &before));
+  SLIDB_RETURN_NOT_OK(heap->Delete(rid));
+  LogRowOp(agent, LogRecordType::kDelete, table, rid, {});
+  agent->txn().AddUndo([this, table, rid, before = std::move(before)] {
+    // Restore at the same RID so surviving index entries stay valid.
+    HeapFile* h = catalog_.table(table).heap.get();
+    PageGuard guard;
+    if (buffer_pool_
+            ->FixPage(PageId{h->file_id(), rid.page_no}, /*exclusive=*/true,
+                      &guard)
+            .ok()) {
+      SlottedPage::InsertAt(
+          guard.page(), rid.slot,
+          {reinterpret_cast<const uint8_t*>(before.data()), before.size()});
+      guard.MarkDirty();
+    }
+  });
+  return Status::OK();
+}
+
+Status Database::LockRowExclusive(AgentContext* agent, TableId table,
+                                  Rid rid) {
+  return LockRow(agent, table, rid, LockMode::kX);
+}
+
+Status Database::IndexInsert(AgentContext* agent, IndexId index, uint64_t key,
+                             uint64_t value) {
+  IndexInfo& info = catalog_.index(index);
+  Status st = info.kind == IndexKind::kBTree
+                  ? info.btree->Insert(key, value)
+                  : info.hash->Insert(key, value);
+  if (!st.ok()) return st;
+  if (info.unique) {
+    // Unique means one value per key: detect a concurrent/extra entry.
+    std::vector<uint64_t> values;
+    if (info.kind == IndexKind::kBTree) {
+      info.btree->LookupAll(key, &values);
+    } else {
+      info.hash->LookupAll(key, &values);
+    }
+    if (values.size() > 1) {
+      if (info.kind == IndexKind::kBTree) {
+        info.btree->Remove(key, value);
+      } else {
+        info.hash->Remove(key, value);
+      }
+      return Status::KeyExists("unique index");
+    }
+  }
+  IndexInfo* pinfo = &info;
+  agent->txn().AddUndo([pinfo, key, value] {
+    if (pinfo->kind == IndexKind::kBTree) {
+      pinfo->btree->Remove(key, value);
+    } else {
+      pinfo->hash->Remove(key, value);
+    }
+  });
+  return Status::OK();
+}
+
+Status Database::IndexRemove(AgentContext* agent, IndexId index, uint64_t key,
+                             uint64_t value) {
+  IndexInfo& info = catalog_.index(index);
+  const Status st = info.kind == IndexKind::kBTree
+                        ? info.btree->Remove(key, value)
+                        : info.hash->Remove(key, value);
+  if (!st.ok()) return st;
+  IndexInfo* pinfo = &info;
+  agent->txn().AddUndo([pinfo, key, value] {
+    if (pinfo->kind == IndexKind::kBTree) {
+      pinfo->btree->Insert(key, value);
+    } else {
+      pinfo->hash->Insert(key, value);
+    }
+  });
+  return Status::OK();
+}
+
+Status Database::IndexLookup(IndexId index, uint64_t key,
+                             uint64_t* value) const {
+  const IndexInfo& info = catalog_.index(index);
+  return info.kind == IndexKind::kBTree ? info.btree->Lookup(key, value)
+                                        : info.hash->Lookup(key, value);
+}
+
+void Database::IndexLookupAll(IndexId index, uint64_t key,
+                              std::vector<uint64_t>* values) const {
+  const IndexInfo& info = catalog_.index(index);
+  if (info.kind == IndexKind::kBTree) {
+    info.btree->LookupAll(key, values);
+  } else {
+    info.hash->LookupAll(key, values);
+  }
+}
+
+void Database::IndexScan(IndexId index, uint64_t lo, uint64_t hi,
+                         const std::function<bool(uint64_t, uint64_t)>& fn)
+    const {
+  const IndexInfo& info = catalog_.index(index);
+  if (info.kind == IndexKind::kBTree) info.btree->Scan(lo, hi, fn);
+}
+
+void Database::IndexScanReverse(
+    IndexId index, uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, uint64_t)>& fn) const {
+  const IndexInfo& info = catalog_.index(index);
+  if (info.kind == IndexKind::kBTree) info.btree->ScanReverse(lo, hi, fn);
+}
+
+}  // namespace slidb

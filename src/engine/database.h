@@ -1,0 +1,133 @@
+// Database: the slidb public facade. Owns the full substrate stack (volume,
+// buffer pool, WAL, lock manager, transaction manager, catalog) and exposes
+// transactional row and index operations with hierarchical 2PL locking —
+// the same architecture as the Shore-MT engine the paper modifies.
+//
+// Transactions are schema-aware C++ functions calling this API directly
+// ("hard-coded transactions", paper §5.2), like compiled stored procedures.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/buffer/volume.h"
+#include "src/engine/catalog.h"
+#include "src/lock/lock_manager.h"
+#include "src/log/log_manager.h"
+#include "src/txn/agent.h"
+#include "src/txn/transaction_manager.h"
+#include "src/util/status.h"
+
+namespace slidb {
+
+struct DatabaseOptions {
+  uint32_t db_id = 0;
+  LockManagerOptions lock;
+  LogOptions log;
+  BufferPoolOptions buffer;
+  /// Row-level locking (default). When false, data ops take full-table
+  /// S/X locks — the coarse-granularity ablation.
+  bool row_locking = true;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---- schema (setup phase only; not transactional) ----
+
+  TableId CreateTable(const std::string& name);
+  IndexId CreateIndex(TableId table, const std::string& name, IndexKind kind,
+                      bool unique);
+  bool FindTable(const std::string& name, TableId* id) const {
+    return catalog_.FindTable(name, id);
+  }
+
+  // ---- agents and transactions ----
+
+  std::unique_ptr<AgentContext> CreateAgent(uint64_t seed = 1);
+  Transaction* Begin(AgentContext* agent);
+  Status Commit(AgentContext* agent);
+  void Abort(AgentContext* agent);
+
+  // ---- transactional row operations (2PL) ----
+
+  /// Insert a record; X-locks the new row. `rid` receives its address.
+  Status Insert(AgentContext* agent, TableId table,
+                std::span<const uint8_t> rec, Rid* rid);
+
+  /// Read a fixed-size record under a row S lock.
+  Status Read(AgentContext* agent, TableId table, Rid rid, void* buf,
+              size_t len);
+
+  /// Read a variable-size record under a row S lock.
+  Status ReadString(AgentContext* agent, TableId table, Rid rid,
+                    std::string* out);
+
+  /// In-place update under a row X lock (size must not grow).
+  Status Update(AgentContext* agent, TableId table, Rid rid,
+                std::span<const uint8_t> rec);
+
+  /// Delete under a row X lock. Undo restores the record at the same RID.
+  Status Delete(AgentContext* agent, TableId table, Rid rid);
+
+  /// Lock a row for update before reading (SELECT ... FOR UPDATE).
+  Status LockRowExclusive(AgentContext* agent, TableId table, Rid rid);
+
+  // ---- transactional index maintenance ----
+  // Indexes are latch-protected structures; entries become visible
+  // immediately but are removed again by undo if the transaction aborts
+  // (rows stay X-locked until then, so no other transaction can observe
+  // the inconsistency through proper index usage).
+
+  Status IndexInsert(AgentContext* agent, IndexId index, uint64_t key,
+                     uint64_t value);
+  Status IndexRemove(AgentContext* agent, IndexId index, uint64_t key,
+                     uint64_t value);
+
+  // ---- index reads (no locks; callers lock the rows they fetch) ----
+
+  Status IndexLookup(IndexId index, uint64_t key, uint64_t* value) const;
+  void IndexLookupAll(IndexId index, uint64_t key,
+                      std::vector<uint64_t>* values) const;
+  void IndexScan(IndexId index, uint64_t lo, uint64_t hi,
+                 const std::function<bool(uint64_t, uint64_t)>& fn) const;
+  void IndexScanReverse(IndexId index, uint64_t lo, uint64_t hi,
+                        const std::function<bool(uint64_t, uint64_t)>& fn) const;
+
+  // ---- component access (benches, tests, stats) ----
+
+  LockManager& lock_manager() { return *lock_manager_; }
+  LogManager& log_manager() { return *log_manager_; }
+  BufferPool& buffer_pool() { return *buffer_pool_; }
+  TransactionManager& txn_manager() { return *txn_manager_; }
+  Catalog& catalog() { return catalog_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Toggle SLI between runs (no active transactions allowed).
+  void SetSliEnabled(bool enabled) {
+    lock_manager_->mutable_options().enable_sli = enabled;
+  }
+
+ private:
+  Status LockRow(AgentContext* agent, TableId table, Rid rid, LockMode mode);
+  void LogRowOp(AgentContext* agent, LogRecordType type, TableId table,
+                Rid rid, std::span<const uint8_t> rec);
+
+  DatabaseOptions options_;
+  std::unique_ptr<Volume> volume_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+  std::unique_ptr<LogManager> log_manager_;
+  std::unique_ptr<LockManager> lock_manager_;
+  std::unique_ptr<TransactionManager> txn_manager_;
+  Catalog catalog_;
+  std::atomic<uint64_t> agent_ids_{0};
+};
+
+}  // namespace slidb

@@ -1,0 +1,114 @@
+// Per-transaction lock cache: maps LockId → LockRequest* for every lock the
+// transaction holds (plus inherited candidates adopted from the agent
+// thread). A cache hit avoids the lock manager entirely — this is the SLI
+// fast path (paper §4.1: "it will find the request already in its cache").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lock/lock_id.h"
+#include "src/lock/lock_request.h"
+
+namespace slidb {
+
+/// Open-addressing hash map sized for OLTP transactions (tens of locks).
+/// Spills to a linear-scan overflow vector rather than rehashing so that
+/// entries are stable for the duration of a transaction.
+class LockCache {
+ public:
+  static constexpr size_t kSlots = 256;  // power of two
+
+  LockCache() { Clear(); }
+
+  LockRequest* Find(const LockId& id) const {
+    size_t i = id.Hash() & (kSlots - 1);
+    for (size_t probes = 0; probes < kMaxProbes; ++probes) {
+      const Entry& e = slots_[i];
+      if (e.req == nullptr) return nullptr;
+      if (e.id == id) return e.req;
+      i = (i + 1) & (kSlots - 1);
+    }
+    for (const Entry& e : overflow_) {
+      if (e.id == id) return e.req;
+    }
+    return nullptr;
+  }
+
+  void Insert(const LockId& id, LockRequest* req) {
+    size_t i = id.Hash() & (kSlots - 1);
+    for (size_t probes = 0; probes < kMaxProbes; ++probes) {
+      Entry& e = slots_[i];
+      if (e.req == nullptr || e.id == id) {
+        e.id = id;
+        e.req = req;
+        return;
+      }
+      i = (i + 1) & (kSlots - 1);
+    }
+    for (Entry& e : overflow_) {
+      if (e.id == id) {
+        e.req = req;
+        return;
+      }
+    }
+    overflow_.push_back(Entry{id, req});
+  }
+
+  /// Remove the entry for `id` (used when a reclaim attempt finds the
+  /// inherited request invalidated). Tombstones via re-probe shuffle are
+  /// avoided by marking the request pointer dead with a sentinel.
+  void Erase(const LockId& id) {
+    size_t i = id.Hash() & (kSlots - 1);
+    for (size_t probes = 0; probes < kMaxProbes; ++probes) {
+      Entry& e = slots_[i];
+      if (e.req == nullptr) return;
+      if (e.id == id) {
+        e.req = kTombstone();
+        e.id = TombstoneId();
+        return;
+      }
+      i = (i + 1) & (kSlots - 1);
+    }
+    for (auto it = overflow_.begin(); it != overflow_.end(); ++it) {
+      if (it->id == id) {
+        overflow_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void Clear() {
+    for (Entry& e : slots_) e = Entry{};
+    overflow_.clear();
+  }
+
+ private:
+  struct Entry {
+    LockId id{};
+    LockRequest* req = nullptr;
+  };
+
+  // A tombstone keeps probe chains intact after Erase. Find() treats it as
+  // a mismatch (its id was cleared), Insert() may not reuse the slot — a
+  // deliberate simplification; erases are rare (failed reclaims only).
+  static LockRequest* kTombstone() {
+    return reinterpret_cast<LockRequest*>(static_cast<uintptr_t>(1));
+  }
+
+  // An id no caller can construct (db ids are small integers), so tombstoned
+  // slots never match a lookup.
+  static LockId TombstoneId() {
+    LockId id;
+    id.db = 0xffffffffu;
+    id.table = 0xffffffffu;
+    return id;
+  }
+
+  static constexpr size_t kMaxProbes = 32;
+
+  Entry slots_[kSlots];
+  std::vector<Entry> overflow_;
+};
+
+}  // namespace slidb

@@ -1,0 +1,98 @@
+// LockClient: the per-transaction view of the lock manager — the private
+// list of held requests, the lock cache, and the blocking/wake machinery
+// used when a request must wait. The transaction manager embeds one
+// LockClient in every Transaction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "src/lock/lock_cache.h"
+#include "src/lock/lock_request.h"
+
+namespace slidb {
+
+/// Per-transaction lock state. Reset between transactions; owned by exactly
+/// one agent thread at a time.
+///
+/// Lifetime: the deadlock detector may hold a LockClient pointer briefly
+/// after a wait resolves, so clients must outlive the LockManager's last
+/// detection pass over them — in practice, keep clients alive as long as the
+/// LockManager (agents reuse one client for the whole run).
+class LockClient {
+ public:
+  LockClient() = default;
+  LockClient(const LockClient&) = delete;
+  LockClient& operator=(const LockClient&) = delete;
+
+  /// Prepare for a new transaction. `txn_id` orders transactions for
+  /// deadlock victim selection (younger = larger id = preferred victim).
+  void StartTxn(uint64_t txn_id, uint32_t agent_id) {
+    txn_id_ = txn_id;
+    agent_id_ = agent_id;
+    held_head_ = nullptr;
+    cache_.Clear();
+    deadlock_victim_.store(false, std::memory_order_relaxed);
+    waiting_on_.store(nullptr, std::memory_order_relaxed);
+  }
+
+  uint64_t txn_id() const { return txn_id_; }
+  uint32_t agent_id() const { return agent_id_; }
+
+  LockCache& cache() { return cache_; }
+
+  /// Request allocator. Defaults to a private pool; agents that use SLI
+  /// share their AgentSliState's pool so inherited requests can migrate
+  /// between consecutive transactions of the same agent.
+  RequestPool* pool() { return pool_; }
+  void SetPool(RequestPool* pool) { pool_ = pool != nullptr ? pool : &own_pool_; }
+
+  /// Private list of held (granted) requests, newest first — the order the
+  /// release phase walks at commit (paper §3.2).
+  LockRequest* held_head() const { return held_head_; }
+  void PushHeld(LockRequest* r) {
+    r->txn_next = held_head_;
+    held_head_ = r;
+  }
+  /// Detach and return the whole private list (release-phase consumption).
+  LockRequest* TakeHeld() {
+    LockRequest* h = held_head_;
+    held_head_ = nullptr;
+    return h;
+  }
+
+  // ---- blocking machinery ----
+
+  std::mutex& wait_mutex() { return wait_mu_; }
+  std::condition_variable& wait_cv() { return wait_cv_; }
+
+  /// Request this client is currently blocked on (deadlock detector input).
+  std::atomic<LockRequest*>& waiting_on() { return waiting_on_; }
+
+  std::atomic<bool>& deadlock_victim() { return deadlock_victim_; }
+
+  /// Wake a blocked client (called by lock releasers and the detector).
+  void Wake() {
+    // The lock ensures the waiter either has not yet checked its predicate
+    // or is inside wait(); either way the notification is not lost.
+    std::lock_guard<std::mutex> g(wait_mu_);
+    wait_cv_.notify_all();
+  }
+
+ private:
+  uint64_t txn_id_ = 0;
+  uint32_t agent_id_ = 0;
+  LockRequest* held_head_ = nullptr;
+  LockCache cache_;
+  RequestPool own_pool_;
+  RequestPool* pool_ = &own_pool_;
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  std::atomic<LockRequest*> waiting_on_{nullptr};
+  std::atomic<bool> deadlock_victim_{false};
+};
+
+}  // namespace slidb

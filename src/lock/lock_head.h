@@ -1,0 +1,137 @@
+// Lock heads: one per active lock, holding the request queue, the aggregate
+// granted mode, the protecting latch, and the hot-lock tracker SLI's
+// criterion 2 consults (paper Figure 2).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "src/lock/lock_id.h"
+#include "src/lock/lock_mode.h"
+#include "src/lock/lock_request.h"
+#include "src/util/latch.h"
+
+namespace slidb {
+
+/// Sliding-window detector for "hot" locks: remembers whether each of the
+/// last 16 latch acquisitions on this head was contended; the lock is hot
+/// when at least `min_contended` of them were (paper §4.2: fraction of
+/// recent acquires that encountered latch contention crosses a threshold).
+/// Updates are racy by design — this is a statistic, not a correctness bit.
+class HotTracker {
+ public:
+  void Record(bool contended) {
+    const uint32_t h = history_.load(std::memory_order_relaxed);
+    history_.store(((h << 1) | (contended ? 1u : 0u)) & 0xffffu,
+                   std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    if (contended) total_contended_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint32_t ContendedCount() const {
+    return static_cast<uint32_t>(
+        std::popcount(history_.load(std::memory_order_relaxed)));
+  }
+
+  bool IsHot(uint32_t min_contended) const {
+    return ContendedCount() >= min_contended;
+  }
+
+  /// Force-set for tests and the always-inherit ablation.
+  void ForceHot() { history_.store(0xffffu, std::memory_order_relaxed); }
+  void Clear() { history_.store(0, std::memory_order_relaxed); }
+
+  /// Cumulative statistics (whole head lifetime, not windowed).
+  uint64_t total_acquires() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_contended() const {
+    return total_contended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint32_t> history_{0};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> total_contended_{0};
+};
+
+/// One active lock. Queue fields are protected by `latch`; `waiter_count`
+/// and `pin_count` are atomic so SLI's criteria checks and the hash table's
+/// life-cycle management can read them without latching.
+struct LockHead {
+  LockId id;
+  SpinLatch latch;
+
+  /// Supremum of the modes of all granted + inherited requests.
+  LockMode granted_mode = LockMode::kNL;
+
+  /// Requests in kWaiting or kConverting state (atomic: read latch-free by
+  /// SLI criterion 4, "no other transaction is waiting").
+  std::atomic<uint32_t> waiter_count{0};
+
+  /// Requests in kGranted or kInherited state.
+  uint32_t granted_count = 0;
+
+  HotTracker hot;
+
+  /// FIFO request queue (paper Figure 3). Granted requests live at the
+  /// front, waiters behind them, strictly in arrival order.
+  LockRequest* q_head = nullptr;
+  LockRequest* q_tail = nullptr;
+
+  /// References that keep this head alive: one per linked request plus one
+  /// per thread currently operating on the head outside the bucket latch.
+  std::atomic<uint32_t> pin_count{0};
+
+  /// Hash chain link, protected by the bucket latch.
+  LockHead* bucket_next = nullptr;
+
+  // ---- queue helpers; caller must hold `latch` ----
+
+  void Append(LockRequest* r) {
+    r->q_prev = q_tail;
+    r->q_next = nullptr;
+    if (q_tail != nullptr) {
+      q_tail->q_next = r;
+    } else {
+      q_head = r;
+    }
+    q_tail = r;
+  }
+
+  void Unlink(LockRequest* r) {
+    if (r->q_prev != nullptr) {
+      r->q_prev->q_next = r->q_next;
+    } else {
+      q_head = r->q_next;
+    }
+    if (r->q_next != nullptr) {
+      r->q_next->q_prev = r->q_prev;
+    } else {
+      q_tail = r->q_prev;
+    }
+    r->q_prev = r->q_next = nullptr;
+  }
+
+  bool QueueEmpty() const { return q_head == nullptr; }
+
+  /// Recompute `granted_mode` from granted/converting/inherited requests.
+  /// Converting requests contribute their currently-granted mode.
+  void RecomputeGrantedMode() {
+    LockMode sup = LockMode::kNL;
+    uint32_t granted = 0;
+    for (LockRequest* r = q_head; r != nullptr; r = r->q_next) {
+      const RequestStatus s = r->status.load(std::memory_order_acquire);
+      if (s == RequestStatus::kGranted || s == RequestStatus::kInherited ||
+          s == RequestStatus::kConverting) {
+        sup = Supremum(sup, r->mode);
+        if (s != RequestStatus::kConverting) ++granted;
+      }
+    }
+    granted_mode = sup;
+    granted_count = granted;
+  }
+};
+
+}  // namespace slidb

@@ -1,0 +1,114 @@
+// Hierarchical lock identifiers: database → table → page → row.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace slidb {
+
+/// Level of a lock in the hierarchy. SLI's criterion 1 admits page level and
+/// higher; row locks are too numerous to be worth tracking (paper §4.2).
+enum class LockLevel : uint8_t {
+  kDatabase = 0,
+  kTable = 1,
+  kPage = 2,
+  kRow = 3,
+};
+
+inline const char* LockLevelName(LockLevel l) {
+  switch (l) {
+    case LockLevel::kDatabase: return "db";
+    case LockLevel::kTable: return "table";
+    case LockLevel::kPage: return "page";
+    case LockLevel::kRow: return "row";
+  }
+  return "?";
+}
+
+/// Identifies one lockable object. Value type, hashable, totally identified
+/// by (level, db, table, page, row); unused trailing fields are zero.
+struct LockId {
+  LockLevel level = LockLevel::kDatabase;
+  uint32_t db = 0;
+  uint32_t table = 0;
+  uint64_t page = 0;
+  uint32_t row = 0;
+
+  static LockId Database(uint32_t db) {
+    return LockId{LockLevel::kDatabase, db, 0, 0, 0};
+  }
+  static LockId Table(uint32_t db, uint32_t table) {
+    return LockId{LockLevel::kTable, db, table, 0, 0};
+  }
+  static LockId Page(uint32_t db, uint32_t table, uint64_t page) {
+    return LockId{LockLevel::kPage, db, table, page, 0};
+  }
+  static LockId Row(uint32_t db, uint32_t table, uint64_t page, uint32_t row) {
+    return LockId{LockLevel::kRow, db, table, page, row};
+  }
+
+  bool HasParent() const { return level != LockLevel::kDatabase; }
+
+  /// The lock one level up (row → page → table → database).
+  LockId Parent() const {
+    LockId p = *this;
+    switch (level) {
+      case LockLevel::kRow:
+        p.level = LockLevel::kPage;
+        p.row = 0;
+        break;
+      case LockLevel::kPage:
+        p.level = LockLevel::kTable;
+        p.page = 0;
+        p.row = 0;
+        break;
+      case LockLevel::kTable:
+        p.level = LockLevel::kDatabase;
+        p.table = 0;
+        p.page = 0;
+        p.row = 0;
+        break;
+      case LockLevel::kDatabase:
+        break;
+    }
+    return p;
+  }
+
+  bool operator==(const LockId& o) const {
+    return level == o.level && db == o.db && table == o.table &&
+           page == o.page && row == o.row;
+  }
+
+  uint64_t Hash() const {
+    // 64-bit mix of all fields (splitmix-style finalizer).
+    uint64_t h = static_cast<uint64_t>(level);
+    h = h * 0x9e3779b97f4a7c15ULL + db;
+    h = h * 0x9e3779b97f4a7c15ULL + table;
+    h = h * 0x9e3779b97f4a7c15ULL + page;
+    h = h * 0x9e3779b97f4a7c15ULL + row;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+  }
+
+  std::string ToString() const {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "%s(%u.%u.%llu.%u)", LockLevelName(level),
+                  db, table, static_cast<unsigned long long>(page), row);
+    return buf;
+  }
+};
+
+}  // namespace slidb
+
+template <>
+struct std::hash<slidb::LockId> {
+  size_t operator()(const slidb::LockId& id) const noexcept {
+    return static_cast<size_t>(id.Hash());
+  }
+};

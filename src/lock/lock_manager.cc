@@ -1,0 +1,641 @@
+#include "src/lock/lock_manager.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/stats/counters.h"
+#include "src/stats/profiler.h"
+#include "src/util/time_util.h"
+
+namespace slidb {
+
+namespace {
+
+/// Maximum hierarchy depth (database → table → page → row).
+constexpr int kMaxDepth = 8;
+
+void WakeOwner(LockRequest* r) {
+  LockClient* cl = r->client.load(std::memory_order_acquire);
+  if (cl != nullptr) cl->Wake();
+}
+
+}  // namespace
+
+void LockManager::SimulateQueueWork(LockHead* h) {
+  if (options_.sim_queue_work_ns == 0) return;
+  // Per-entry cost (see LockManagerOptions::sim_queue_work_ns). The walk
+  // itself mirrors the release-path traversal of Figure 3.
+  uint64_t entries = 0;
+  for (LockRequest* r = h->q_head; r != nullptr; r = r->q_next) ++entries;
+  if (entries == 0) entries = 1;
+  SpinForNanos(options_.sim_queue_work_ns * entries);
+}
+
+LockManager::LockManager(LockManagerOptions options)
+    : options_(options), table_(options.num_buckets) {
+  if (options_.enable_deadlock_detector) {
+    detector_ = std::thread([this] { DetectorLoop(); });
+  }
+}
+
+LockManager::~LockManager() {
+  {
+    std::lock_guard<std::mutex> g(detector_mu_);
+    stop_detector_ = true;
+  }
+  detector_cv_.notify_all();
+  if (detector_.joinable()) detector_.join();
+}
+
+Status LockManager::Lock(LockClient* c, const LockId& id, LockMode mode) {
+  ScopedComponent comp(Component::kLockManager);
+  return LockInternal(c, id, mode, 0);
+}
+
+Status LockManager::LockInternal(LockClient* c, const LockId& id,
+                                 LockMode mode, int depth) {
+  if (depth > kMaxDepth) return Status::InvalidArgument("lock depth");
+  if (mode == LockMode::kNL) return Status::OK();
+
+  if (LockRequest* r = c->cache().Find(id)) {
+    const RequestStatus s = r->status.load(std::memory_order_acquire);
+    if (s == RequestStatus::kGranted || s == RequestStatus::kConverting) {
+      if (Covers(r->mode, mode)) {
+        CountEvent(Counter::kLockCacheHits);
+        return Status::OK();
+      }
+      SLIDB_RETURN_NOT_OK(EnsureParents(c, id, mode, depth));
+      return Upgrade(c, r, mode);
+    }
+    if (s == RequestStatus::kInherited) {
+      // SLI reclaim fast path. Parents first: they are normally inherited
+      // too, and taking them first preserves the hierarchical protocol even
+      // when this request's parent was invalidated (§4.3 orphan rule).
+      SLIDB_RETURN_NOT_OK(EnsureParents(c, id, mode, depth));
+      RequestStatus expect = RequestStatus::kInherited;
+      if (r->status.compare_exchange_strong(expect, RequestStatus::kGranted,
+                                            std::memory_order_acq_rel)) {
+        r->client.store(c, std::memory_order_release);
+        c->PushHeld(r);
+        CountEvent(Counter::kSliReclaimed);
+        ClassifyAcquisition(id, mode,
+                            r->head->hot.IsHot(options_.hot_min_contended));
+        if (!Covers(r->mode, mode)) {
+          CountEvent(Counter::kSliUpgradeAfterReclaim);
+          return Upgrade(c, r, mode);
+        }
+        return Status::OK();
+      }
+      // Lost the race to an invalidator; fall through to the slow path.
+      c->cache().Erase(id);
+    }
+    if (s == RequestStatus::kInvalid) {
+      c->cache().Erase(id);
+    }
+  }
+
+  SLIDB_RETURN_NOT_OK(EnsureParents(c, id, mode, depth));
+
+  // A coarse lock on any ancestor can make this request implicit (§3.2:
+  // "if an appropriate coarse-grained lock is found the request can be
+  // granted immediately"). Walk the whole chain: a table-S covers a row
+  // even when the intermediate page lock was itself skipped.
+  LockId anc = id;
+  while (anc.HasParent()) {
+    anc = anc.Parent();
+    if (LockRequest* pr = c->cache().Find(anc)) {
+      const RequestStatus ps = pr->status.load(std::memory_order_acquire);
+      if ((ps == RequestStatus::kGranted ||
+           ps == RequestStatus::kConverting) &&
+          ParentCoversChild(pr->mode, mode)) {
+        CountEvent(Counter::kLockCacheHits);
+        return Status::OK();
+      }
+    }
+  }
+
+  return AcquireNew(c, id, mode);
+}
+
+Status LockManager::EnsureParents(LockClient* c, const LockId& id,
+                                  LockMode mode, int depth) {
+  if (!id.HasParent()) return Status::OK();
+  return LockInternal(c, id.Parent(), IntentionFor(mode), depth + 1);
+}
+
+bool LockManager::CanGrant(LockHead* h, const LockRequest* self,
+                           LockMode mode) {
+  LockRequest* r = h->q_head;
+  while (r != nullptr) {
+    LockRequest* next = r->q_next;
+    if (r != self) {
+      const RequestStatus s = r->status.load(std::memory_order_acquire);
+      if (s == RequestStatus::kGranted || s == RequestStatus::kConverting) {
+        if (!Compatible(r->mode, mode)) return false;
+      } else if (s == RequestStatus::kInherited) {
+        if (!Compatible(r->mode, mode)) {
+          // Conflicting inherited request: invalidate it (paper §4.1). The
+          // CAS can lose only to a concurrent reclaim, in which case the
+          // request is live and blocks us.
+          RequestStatus expect = RequestStatus::kInherited;
+          if (r->status.compare_exchange_strong(expect, RequestStatus::kInvalid,
+                                                std::memory_order_acq_rel)) {
+            h->Unlink(r);
+            table_.Unpin(h);
+            CountEvent(Counter::kSliInvalidated);
+            // Memory stays with the owning agent; freed at its next commit.
+          } else {
+            return false;
+          }
+        }
+      }
+      // kWaiting requests do not block compatibility; FIFO order is
+      // enforced separately via waiter_count.
+    }
+    r = next;
+  }
+  return true;
+}
+
+void LockManager::GrantWaiters(LockHead* h) {
+  // Phase 1: conversions, FIFO among converting requests. A conversion is
+  // granted when its target mode is compatible with every other live
+  // request.
+  for (LockRequest* r = h->q_head; r != nullptr; r = r->q_next) {
+    const RequestStatus s = r->status.load(std::memory_order_acquire);
+    if (s != RequestStatus::kConverting) continue;
+    if (CanGrant(h, r, r->convert_to)) {
+      r->mode = r->convert_to;
+      r->status.store(RequestStatus::kGranted, std::memory_order_release);
+      h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+      WakeOwner(r);
+    } else {
+      break;
+    }
+  }
+  // Phase 2: new requests, strict FIFO.
+  for (LockRequest* r = h->q_head; r != nullptr; r = r->q_next) {
+    const RequestStatus s = r->status.load(std::memory_order_acquire);
+    if (s != RequestStatus::kWaiting) continue;
+    if (CanGrant(h, r, r->mode)) {
+      r->status.store(RequestStatus::kGranted, std::memory_order_release);
+      h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+      WakeOwner(r);
+    } else {
+      break;
+    }
+  }
+  h->RecomputeGrantedMode();
+}
+
+Status LockManager::AcquireNew(LockClient* c, const LockId& id,
+                               LockMode mode) {
+  CountEvent(Counter::kLockRequests);
+  LockHead* h = table_.FindOrCreate(id);  // pin transfers to the request
+  const bool contended = h->latch.Acquire();
+  h->hot.Record(contended);
+  SimulateQueueWork(h);
+  ClassifyAcquisition(id, mode, h->hot.IsHot(options_.hot_min_contended));
+
+  LockRequest* req = c->pool()->Alloc();
+  req->head = h;
+  req->mode = mode;
+  req->client.store(c, std::memory_order_release);
+
+  const bool grant_now =
+      h->waiter_count.load(std::memory_order_relaxed) == 0 &&
+      CanGrant(h, nullptr, mode);
+  if (grant_now) {
+    req->status.store(RequestStatus::kGranted, std::memory_order_release);
+    h->Append(req);
+    h->granted_count++;
+    h->granted_mode = Supremum(h->granted_mode, mode);
+    h->latch.Release();
+    c->cache().Insert(id, req);
+    c->PushHeld(req);
+    return Status::OK();
+  }
+
+  CountEvent(Counter::kLockWaits);
+  req->status.store(RequestStatus::kWaiting, std::memory_order_release);
+  h->Append(req);
+  h->waiter_count.fetch_add(1, std::memory_order_acq_rel);
+  c->waiting_on().store(req, std::memory_order_release);
+  h->latch.Release();
+
+  bool granted_anyway = false;
+  const Status st = WaitForGrant(c, req, &granted_anyway);
+  c->waiting_on().store(nullptr, std::memory_order_release);
+  if (st.ok() || granted_anyway) {
+    c->cache().Insert(id, req);
+    c->PushHeld(req);
+  }
+  return st;
+}
+
+Status LockManager::Upgrade(LockClient* c, LockRequest* r, LockMode mode) {
+  LockHead* h = r->head;
+  const LockMode target = Supremum(r->mode, mode);
+  if (target == r->mode) return Status::OK();
+  CountEvent(Counter::kLockUpgrades);
+
+  const bool contended = h->latch.Acquire();
+  h->hot.Record(contended);
+  SimulateQueueWork(h);
+  if (CanGrant(h, r, target)) {
+    r->mode = target;
+    h->RecomputeGrantedMode();
+    h->latch.Release();
+    return Status::OK();
+  }
+
+  CountEvent(Counter::kLockWaits);
+  r->convert_to = target;
+  r->status.store(RequestStatus::kConverting, std::memory_order_release);
+  h->waiter_count.fetch_add(1, std::memory_order_acq_rel);
+  c->waiting_on().store(r, std::memory_order_release);
+  h->latch.Release();
+
+  bool granted_anyway = false;
+  const Status st = WaitForGrant(c, r, &granted_anyway);
+  c->waiting_on().store(nullptr, std::memory_order_release);
+  return st;
+}
+
+Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
+                                 bool* granted_anyway) {
+  const uint64_t deadline_us = NowMicros() + options_.lock_timeout_us;
+  const uint64_t block_start = RdCycles();
+  bool timed_out = false;
+
+  {
+    std::unique_lock<std::mutex> lk(c->wait_mutex());
+    for (;;) {
+      const RequestStatus s = r->status.load(std::memory_order_acquire);
+      if (s == RequestStatus::kGranted) break;
+      if (c->deadlock_victim().load(std::memory_order_acquire)) break;
+      const uint64_t now_us = NowMicros();
+      if (now_us >= deadline_us) {
+        timed_out = true;
+        break;
+      }
+      c->wait_cv().wait_for(lk,
+                            std::chrono::microseconds(deadline_us - now_us));
+    }
+  }
+
+  if (ThreadProfile* p = ThreadProfile::Current()) {
+    p->AttributeBlocked(block_start, RdCycles());
+  }
+
+  const bool victim = c->deadlock_victim().load(std::memory_order_acquire);
+  if (!victim && !timed_out) return Status::OK();
+
+  // Victim or timeout: remove / revert our request under the head latch.
+  LockHead* h = r->head;
+  const bool contended = h->latch.Acquire();
+  h->hot.Record(contended);
+  const RequestStatus s = r->status.load(std::memory_order_acquire);
+  if (s == RequestStatus::kGranted) {
+    // Granted concurrently with the abort decision. Keep the lock; the
+    // caller's abort path will release it with everything else.
+    h->latch.Release();
+    if (victim) {
+      *granted_anyway = true;
+      c->deadlock_victim().store(false, std::memory_order_release);
+      CountEvent(Counter::kDeadlocks);
+      return Status::Deadlock();
+    }
+    return Status::OK();  // timed out but granted: treat as success
+  }
+  if (s == RequestStatus::kWaiting) {
+    h->Unlink(r);
+    h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+    GrantWaiters(h);  // our departure may unblock FIFO successors
+    h->latch.Release();
+    table_.Unpin(h);
+    c->cache().Erase(h->id);
+    c->pool()->Free(r);
+  } else {
+    // kConverting: revert to the previously granted mode.
+    r->convert_to = r->mode;
+    r->status.store(RequestStatus::kGranted, std::memory_order_release);
+    h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+    GrantWaiters(h);
+    h->latch.Release();
+  }
+
+  if (victim) {
+    c->deadlock_victim().store(false, std::memory_order_release);
+    CountEvent(Counter::kDeadlocks);
+    return Status::Deadlock();
+  }
+  CountEvent(Counter::kLockTimeouts);
+  return Status::TimedOut();
+}
+
+void LockManager::ReleaseOne(LockClient* c, LockRequest* r,
+                             RequestPool* pool) {
+  LockHead* h = r->head;
+  const LockId id = h->id;  // copy: head may be reclaimed after unpin
+  const bool contended = h->latch.Acquire();
+  h->hot.Record(contended);
+
+  const RequestStatus s = r->status.load(std::memory_order_acquire);
+  if (s == RequestStatus::kInvalid) {
+    // Invalidated (and unlinked/unpinned) while we waited for the latch.
+    h->latch.Release();
+    pool->Free(r);
+    return;
+  }
+  SimulateQueueWork(h);
+  h->Unlink(r);
+  GrantWaiters(h);  // also recomputes granted_mode / granted_count
+  const bool empty = h->QueueEmpty();
+  h->latch.Release();
+  table_.Unpin(h);
+  pool->Free(r);
+  CountEvent(Counter::kLockReleases);
+  // Only row heads are reclaimed eagerly: high-level heads must persist so
+  // their hot-lock history survives between transactions (criterion 2), and
+  // there are only O(tables + touched pages) of them.
+  if (empty &&
+      (id.level == LockLevel::kRow || !options_.retain_high_level_heads)) {
+    table_.TryReclaim(id);
+  }
+  (void)c;
+}
+
+bool LockManager::EligibleForInheritance(
+    LockClient* c, LockRequest* r,
+    std::vector<std::pair<LockRequest*, bool>>* memo, int depth) {
+  if (depth > kMaxDepth) return false;
+  for (const auto& [req, verdict] : *memo) {
+    if (req == r) return verdict;
+  }
+
+  bool ok = true;
+  LockHead* h = r->head;
+  // Criterion 3 (correctness, not ablatable): shared-class mode only.
+  if (!IsHeritableMode(r->mode)) ok = false;
+  // Criterion 1: page level or higher.
+  if (ok && options_.sli_require_high_level &&
+      h->id.level == LockLevel::kRow) {
+    ok = false;
+  }
+  // Criterion 2: the lock is hot.
+  if (ok && options_.sli_require_hot &&
+      !h->hot.IsHot(options_.hot_min_contended)) {
+    ok = false;
+  }
+  // Criterion 4: no other transaction is waiting.
+  if (ok && options_.sli_require_no_waiters &&
+      h->waiter_count.load(std::memory_order_acquire) != 0) {
+    ok = false;
+  }
+  // Criterion 5: the same conditions hold for the parent, if any.
+  if (ok && options_.sli_require_parent && h->id.HasParent()) {
+    LockRequest* pr = c->cache().Find(h->id.Parent());
+    if (pr == nullptr ||
+        pr->status.load(std::memory_order_acquire) != RequestStatus::kGranted) {
+      ok = false;
+    } else {
+      ok = EligibleForInheritance(c, pr, memo, depth + 1);
+    }
+  }
+
+  memo->emplace_back(r, ok);
+  return ok;
+}
+
+void LockManager::ReleaseAll(LockClient* c, AgentSliState* sli,
+                             bool allow_inherit) {
+  ScopedComponent comp(Component::kLockManager);
+  const bool sli_active = allow_inherit && options_.enable_sli && sli != nullptr;
+
+  // Phase 1 (SLI bookkeeping): sweep the agent's inheritance list — free
+  // invalidated requests, discard (or keep, with hysteresis) inherited
+  // requests this transaction never used. Reclaimed ones moved to the
+  // private list and are handled in phase 2. Attributed to the SLI
+  // component: "locks which are inherited but never used must still be
+  // released, and that overhead counts toward SLI, not the lock manager."
+  if (sli != nullptr) {
+    ScopedComponent sli_comp(Component::kSli);
+    const bool sli_enabled = options_.enable_sli;
+    LockRequest* r = sli->TakeInherited();
+    while (r != nullptr) {
+      LockRequest* next = r->agent_next;
+      r->agent_next = nullptr;
+      const RequestStatus s = r->status.load(std::memory_order_acquire);
+      if (s == RequestStatus::kInvalid) {
+        sli->pool().Free(r);
+      } else if (s == RequestStatus::kInherited) {
+        if (sli_enabled && !allow_inherit) {
+          // Abort path: the transaction's failure says nothing about the
+          // speculation; keep it for the agent's next transaction. (TM1-
+          // style workloads abort most transactions by design.)
+          sli->PushInherited(r);
+        } else if (sli_enabled &&
+                   r->sli_miss_count < options_.sli_hysteresis) {
+          ++r->sli_miss_count;
+          sli->PushInherited(r);  // §4.4 option 2: momentum
+        } else {
+          CountEvent(Counter::kSliDiscarded);
+          ReleaseOne(c, r, &sli->pool());
+        }
+      }
+      // kGranted: reclaimed by this transaction; lives in the private list.
+      r = next;
+    }
+  }
+
+  // Phase 2: walk the private list newest-first (paper §3.2) deciding
+  // inherit-vs-release per request.
+  std::vector<std::pair<LockRequest*, bool>> memo;
+  RequestPool* pool = c->pool();
+  LockRequest* r = c->TakeHeld();
+  while (r != nullptr) {
+    LockRequest* next = r->txn_next;
+    r->txn_next = nullptr;
+
+    bool inherit = false;
+    // Cheap rejections first, keeping row locks (the overwhelming majority
+    // in scan-heavy transactions) away from the memoized parent check.
+    const bool worth_considering =
+        sli_active && IsHeritableMode(r->mode) &&
+        !(options_.sli_require_high_level &&
+          r->head->id.level == LockLevel::kRow);
+    if (worth_considering) {
+      ScopedComponent sli_comp(Component::kSli);
+      inherit = EligibleForInheritance(c, r, &memo, 0);
+      if (inherit) CountEvent(Counter::kSliEligible);
+    }
+
+    if (inherit) {
+      ScopedComponent sli_comp(Component::kSli);
+      r->sli_miss_count = 0;
+      r->client.store(nullptr, std::memory_order_release);
+      RequestStatus expect = RequestStatus::kGranted;
+      if (r->status.compare_exchange_strong(expect, RequestStatus::kInherited,
+                                            std::memory_order_acq_rel)) {
+        sli->PushInherited(r);
+        CountEvent(Counter::kSliInherited);
+      } else {
+        // Only the owner transitions out of kGranted; cannot happen.
+        ReleaseOne(c, r, pool);
+      }
+    } else {
+      ReleaseOne(c, r, pool);
+    }
+    r = next;
+  }
+  c->cache().Clear();
+}
+
+void LockManager::AdoptInherited(LockClient* c, AgentSliState* sli) {
+  if (sli == nullptr) return;
+  ScopedComponent sli_comp(Component::kSli);
+  for (LockRequest* r = sli->inherited_head(); r != nullptr;
+       r = r->agent_next) {
+    if (r->status.load(std::memory_order_acquire) ==
+        RequestStatus::kInherited) {
+      c->cache().Insert(r->head->id, r);
+    }
+  }
+}
+
+void LockManager::ClassifyAcquisition(const LockId& id, LockMode mode,
+                                      bool hot) {
+  const bool row = id.level == LockLevel::kRow;
+  const bool heritable = IsHeritableMode(mode);
+  CountEvent(row ? Counter::kAcqRow : Counter::kAcqHigh);
+  CountEvent(heritable ? Counter::kAcqShared : Counter::kAcqExclusive);
+  if (hot) {
+    CountEvent(Counter::kAcqHot);
+    if (row) {
+      CountEvent(Counter::kAcqHotRow);
+    } else if (heritable) {
+      CountEvent(Counter::kAcqHotHeritable);
+    }
+  }
+}
+
+size_t LockManager::RunDeadlockDetection() {
+  // Snapshot the waits-for graph. Nodes are transactions (by LockClient*);
+  // edges follow the queue semantics: a waiter waits on every live granted /
+  // converting holder it conflicts with, plus every earlier queued waiter
+  // (FIFO grant order). Conversions wait only on granted conflicts.
+  struct Node {
+    LockClient* client;
+    uint64_t txn_id;
+    std::vector<LockClient*> out;
+  };
+  std::unordered_map<LockClient*, Node> graph;
+
+  struct QueueEntry {
+    LockClient* client;
+    RequestStatus status;
+    LockMode held;
+    LockMode wanted;
+  };
+  std::vector<QueueEntry> entries;
+
+  table_.ForEachHead([&](LockHead* h) {
+    entries.clear();
+    for (LockRequest* r = h->q_head; r != nullptr; r = r->q_next) {
+      const RequestStatus s = r->status.load(std::memory_order_acquire);
+      LockClient* cl = r->client.load(std::memory_order_acquire);
+      if (cl == nullptr) continue;  // inherited/in-limbo
+      const LockMode wanted =
+          s == RequestStatus::kConverting ? r->convert_to : r->mode;
+      entries.push_back(QueueEntry{cl, s, r->mode, wanted});
+    }
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const QueueEntry& w = entries[i];
+      if (w.status != RequestStatus::kWaiting &&
+          w.status != RequestStatus::kConverting) {
+        continue;
+      }
+      Node& node = graph.try_emplace(w.client, Node{w.client, 0, {}})
+                       .first->second;
+      node.txn_id = w.client->txn_id();
+      for (size_t j = 0; j < entries.size(); ++j) {
+        if (i == j) continue;
+        const QueueEntry& o = entries[j];
+        if (o.client == w.client) continue;
+        bool blocks = false;
+        if (o.status == RequestStatus::kGranted ||
+            o.status == RequestStatus::kConverting) {
+          blocks = !Compatible(o.held, w.wanted);
+        } else if (o.status == RequestStatus::kWaiting &&
+                   w.status == RequestStatus::kWaiting && j < i) {
+          blocks = true;  // FIFO: earlier waiters are granted first
+        }
+        if (blocks) node.out.push_back(o.client);
+      }
+    }
+  });
+
+  // DFS cycle detection with three-color marking.
+  std::unordered_map<LockClient*, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<LockClient*> stack;
+  size_t victims = 0;
+
+  auto visit = [&](LockClient* start, auto&& self) -> void {
+    color[start] = 1;
+    stack.push_back(start);
+    auto it = graph.find(start);
+    if (it != graph.end()) {
+      for (LockClient* next : it->second.out) {
+        const int c2 = color[next];
+        if (c2 == 1) {
+          // Cycle: victims = youngest transaction on the stack back to next.
+          LockClient* victim = nullptr;
+          uint64_t max_id = 0;
+          for (auto rit = stack.rbegin(); rit != stack.rend(); ++rit) {
+            if ((*rit)->txn_id() >= max_id) {
+              max_id = (*rit)->txn_id();
+              victim = *rit;
+            }
+            if (*rit == next) break;
+          }
+          if (victim != nullptr &&
+              !victim->deadlock_victim().exchange(true)) {
+            ++victims;
+            victim->Wake();
+          }
+        } else if (c2 == 0) {
+          self(next, self);
+        }
+      }
+    }
+    stack.pop_back();
+    color[start] = 2;
+  };
+
+  for (auto& [client, node] : graph) {
+    if (color[client] == 0) visit(client, visit);
+  }
+  return victims;
+}
+
+void LockManager::DetectorLoop() {
+  std::unique_lock<std::mutex> lk(detector_mu_);
+  while (!stop_detector_) {
+    detector_cv_.wait_for(
+        lk, std::chrono::microseconds(options_.deadlock_interval_us));
+    if (stop_detector_) break;
+    lk.unlock();
+    RunDeadlockDetection();
+    lk.lock();
+  }
+}
+
+LockManagerStats LockManager::Stats() {
+  LockManagerStats stats;
+  stats.lock_heads = table_.CountHeads();
+  return stats;
+}
+
+}  // namespace slidb

@@ -1,0 +1,168 @@
+// The slidb lock manager: a Shore-MT-style hierarchical lock manager with
+// Speculative Lock Inheritance (paper Section 4) implemented as a
+// modification of the release and acquire paths.
+//
+// Concurrency protocol summary:
+//  * Lock heads and their FIFO request queues are protected by a per-head
+//    spin latch; the hash table buckets by per-bucket latches.
+//  * A transaction's lock cache and private list are single-threaded.
+//  * SLI transitions are CAS operations on LockRequest::status:
+//      - release path (owner agent):  kGranted  → kInherited
+//      - reclaim (owner agent):       kInherited → kGranted  (latch-free!)
+//      - invalidation (conflicting
+//        thread, head latch held):    kInherited → kInvalid  (+ unlink)
+//    The CAS arbitrates the reclaim/invalidate race; request memory is only
+//    ever freed by the owning agent thread, making the protocol safe without
+//    hazard pointers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/lock/agent_sli.h"
+#include "src/lock/lock_client.h"
+#include "src/lock/lock_table.h"
+#include "src/util/status.h"
+
+namespace slidb {
+
+/// Tuning knobs. The sli_require_* flags exist for the criteria-ablation
+/// experiments; defaults match the paper.
+struct LockManagerOptions {
+  size_t num_buckets = 1 << 14;
+
+  /// Criterion 2 threshold: hot = at least this many of the last 16 latch
+  /// acquisitions on the head were contended (paper: tunable threshold).
+  uint32_t hot_min_contended = 4;
+
+  /// Keep page-and-higher lock heads alive when their queues drain so the
+  /// hot-lock history survives between transactions. Row heads are always
+  /// reclaimed eagerly (they are too numerous to retain).
+  bool retain_high_level_heads = true;
+
+  /// Extra nanoseconds of work *per queued request* performed inside each
+  /// latched lock-queue operation (acquire / upgrade / release). Models the
+  /// per-entry traversal and cache-miss cost that makes "the effort
+  /// required to grant or release a lock grow with the number of active
+  /// transactions" (paper §3.2) on a many-context machine — load a small
+  /// host cannot produce physically (see DESIGN.md substitutions). The cost
+  /// therefore self-scales: short queues at light load stay cheap, crowded
+  /// hot queues at high load get expensive. SLI reclaims bypass the latch
+  /// and are exempt, exactly as in the paper. 0 disables the simulation
+  /// (unit-test default).
+  uint64_t sim_queue_work_ns = 0;
+
+  /// Master switch for speculative lock inheritance.
+  bool enable_sli = false;
+
+  // --- SLI eligibility criteria (paper §4.2); individually ablatable.
+  // Criterion 3 (shared mode) is not switchable: it is a correctness rule.
+  bool sli_require_high_level = true;  ///< criterion 1: page level or higher
+  bool sli_require_hot = true;         ///< criterion 2: latch contention seen
+  bool sli_require_no_waiters = true;  ///< criterion 4: nobody waiting
+  bool sli_require_parent = true;      ///< criterion 5: parent also eligible
+
+  /// §4.4 option 2: keep an unused inherited lock across this many commits
+  /// before discarding it (0 = paper's "do nothing" default).
+  uint32_t sli_hysteresis = 0;
+
+  /// Backstop for lost wakeups / undetected deadlocks.
+  uint64_t lock_timeout_us = 5'000'000;
+
+  /// Waits-for-graph detector; runs in a background thread.
+  bool enable_deadlock_detector = true;
+  uint64_t deadlock_interval_us = 1'000;
+};
+
+/// Aggregate lock-manager gauges (approximate; read without latches).
+struct LockManagerStats {
+  size_t lock_heads = 0;
+};
+
+class LockManager {
+ public:
+  explicit LockManager(LockManagerOptions options = {});
+  ~LockManager();
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquire `id` in `mode` for `c`, acquiring ancestor intention locks
+  /// automatically and upgrading an existing request when needed. Blocks on
+  /// conflicts. Returns OK, Deadlock (victim), or TimedOut.
+  Status Lock(LockClient* c, const LockId& id, LockMode mode);
+
+  /// Release every lock `c` holds. When `allow_inherit` is true, SLI is
+  /// enabled, and `sli` is non-null, eligible locks pass to `sli` instead of
+  /// being released (commit path); aborts call with allow_inherit = false.
+  /// Also garbage-collects `sli`'s invalidated requests and discards
+  /// inherited requests the finished transaction never used.
+  void ReleaseAll(LockClient* c, AgentSliState* sli, bool allow_inherit);
+
+  /// Populate a starting transaction's lock cache with the agent's
+  /// inherited requests (paper §4.1: "pre-populates the new transaction's
+  /// lock cache").
+  void AdoptInherited(LockClient* c, AgentSliState* sli);
+
+  /// Run one deadlock detection pass (also used directly by tests).
+  /// Returns the number of victims chosen.
+  size_t RunDeadlockDetection();
+
+  const LockManagerOptions& options() const { return options_; }
+  /// Live mutation for ablation benches (safe between runs only).
+  LockManagerOptions& mutable_options() { return options_; }
+
+  LockTable& table() { return table_; }
+
+  LockManagerStats Stats();
+
+ private:
+  Status LockInternal(LockClient* c, const LockId& id, LockMode mode,
+                      int depth);
+  Status EnsureParents(LockClient* c, const LockId& id, LockMode mode,
+                       int depth);
+  Status AcquireNew(LockClient* c, const LockId& id, LockMode mode);
+  Status Upgrade(LockClient* c, LockRequest* r, LockMode mode);
+  /// Blocks until `r` is granted, the client is victimized, or the timeout
+  /// fires. On failure, `r` is cleaned up (unlinked+freed for new requests,
+  /// reverted for conversions) — unless it was granted concurrently with the
+  /// victim decision, in which case `*granted_anyway` is set and the caller
+  /// must register the granted request so the abort path releases it.
+  Status WaitForGrant(LockClient* c, LockRequest* r, bool* granted_anyway);
+
+  /// True iff `mode` conflicts with no live request other than `self`.
+  /// Invalidates conflicting kInherited requests on the way (head latch
+  /// must be held).
+  bool CanGrant(LockHead* h, const LockRequest* self, LockMode mode);
+
+  /// Grant queued conversions then FIFO waiters (head latch must be held).
+  void GrantWaiters(LockHead* h);
+
+  /// Normal release of one granted request (latches, unlinks, wakes).
+  void ReleaseOne(LockClient* c, LockRequest* r, RequestPool* pool);
+
+  /// Charge the simulated per-entry queue cost (head latch must be held).
+  void SimulateQueueWork(LockHead* h);
+
+  bool EligibleForInheritance(LockClient* c, LockRequest* r,
+                              std::vector<std::pair<LockRequest*, bool>>* memo,
+                              int depth);
+
+  void ClassifyAcquisition(const LockId& id, LockMode mode, bool hot);
+
+  void DetectorLoop();
+
+  LockManagerOptions options_;
+  LockTable table_;
+
+  std::thread detector_;
+  std::mutex detector_mu_;
+  std::condition_variable detector_cv_;
+  bool stop_detector_ = false;
+};
+
+}  // namespace slidb

@@ -1,0 +1,55 @@
+// Hierarchical lock modes (Gray & Reuter) with the asymmetric compatibility
+// matrix, the supremum ("combine") lattice used for upgrades, and the
+// shared-class predicate SLI uses for its eligibility criterion 3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slidb {
+
+/// Database lock modes. kU (update) blocks new readers asymmetrically to
+/// prevent upgrade starvation, per the classic treatment.
+enum class LockMode : uint8_t {
+  kNL = 0,  ///< no lock (placeholder)
+  kIS,      ///< intention share
+  kIX,      ///< intention exclusive
+  kS,       ///< share
+  kSIX,     ///< share + intention exclusive
+  kU,       ///< update (read with intent to upgrade)
+  kX,       ///< exclusive
+};
+
+inline constexpr size_t kNumLockModes = 7;
+
+const char* LockModeName(LockMode m);
+
+/// True iff a new request for `requested` can be granted while `held` is
+/// granted to a *different* transaction. Asymmetric in U: a held U blocks
+/// new S/U requests, but a held S admits a new U.
+bool Compatible(LockMode held, LockMode requested);
+
+/// Least mode that covers both `a` and `b`; used for upgrades
+/// (e.g. sup(S, IX) = SIX, sup(U, IX) = X).
+LockMode Supremum(LockMode a, LockMode b);
+
+/// True iff holding `held` makes a separate request for `wanted` redundant
+/// (e.g. S covers IS and S; X covers everything).
+bool Covers(LockMode held, LockMode wanted);
+
+/// Intention mode ancestors must hold before a child can be locked in `m`:
+/// IS for read-class children, IX for anything that may write.
+LockMode IntentionFor(LockMode m);
+
+/// True iff `held` on a parent implicitly grants `wanted` on every child,
+/// making the child lock unnecessary (e.g. parent S implies child S).
+bool ParentCoversChild(LockMode held, LockMode wanted);
+
+/// SLI criterion 3: modes that may pass between transactions. The paper
+/// names S, IS and IX — intent-exclusive qualifies because it is compatible
+/// with other intent modes and never by itself licenses data access.
+inline bool IsHeritableMode(LockMode m) {
+  return m == LockMode::kIS || m == LockMode::kIX || m == LockMode::kS;
+}
+
+}  // namespace slidb

@@ -1,0 +1,14 @@
+#include "src/lock/lock_request.h"
+
+namespace slidb {
+
+RequestPool::~RequestPool() {
+  LockRequest* r = free_;
+  while (r != nullptr) {
+    LockRequest* next = r->txn_next;
+    delete r;
+    r = next;
+  }
+}
+
+}  // namespace slidb

@@ -1,0 +1,89 @@
+#include "src/lock/lock_table.h"
+
+#include <bit>
+
+namespace slidb {
+
+LockTable::LockTable(size_t num_buckets) {
+  if (num_buckets < 2) num_buckets = 2;
+  num_buckets = std::bit_ceil(num_buckets);
+  buckets_ = std::make_unique<CacheAligned<Bucket>[]>(num_buckets);
+  bucket_mask_ = num_buckets - 1;
+}
+
+LockTable::~LockTable() {
+  for (size_t i = 0; i <= bucket_mask_; ++i) {
+    LockHead* h = buckets_[i]->chain;
+    while (h != nullptr) {
+      LockHead* next = h->bucket_next;
+      delete h;
+      h = next;
+    }
+  }
+}
+
+LockHead* LockTable::FindOrCreate(const LockId& id) {
+  Bucket& bucket = BucketFor(id);
+  SpinLatchGuard g(bucket.latch);
+  for (LockHead* h = bucket.chain; h != nullptr; h = h->bucket_next) {
+    if (h->id == id) {
+      h->pin_count.fetch_add(1, std::memory_order_acq_rel);
+      return h;
+    }
+  }
+  auto* h = new LockHead();
+  h->id = id;
+  h->pin_count.store(1, std::memory_order_relaxed);
+  h->bucket_next = bucket.chain;
+  bucket.chain = h;
+  return h;
+}
+
+LockHead* LockTable::Find(const LockId& id) {
+  Bucket& bucket = BucketFor(id);
+  SpinLatchGuard g(bucket.latch);
+  for (LockHead* h = bucket.chain; h != nullptr; h = h->bucket_next) {
+    if (h->id == id) {
+      h->pin_count.fetch_add(1, std::memory_order_acq_rel);
+      return h;
+    }
+  }
+  return nullptr;
+}
+
+void LockTable::TryReclaim(const LockId& id) {
+  Bucket& bucket = BucketFor(id);
+  SpinLatchGuard g(bucket.latch);
+  LockHead* prev = nullptr;
+  for (LockHead* h = bucket.chain; h != nullptr; prev = h, h = h->bucket_next) {
+    if (!(h->id == id)) continue;
+    // The bucket latch blocks new pins (FindOrCreate), so a zero pin count
+    // is stable here, and an empty queue with no pins means no references.
+    if (h->pin_count.load(std::memory_order_acquire) != 0) return;
+    {
+      SpinLatchGuard hg(h->latch);
+      if (!h->QueueEmpty()) return;
+    }
+    if (prev != nullptr) {
+      prev->bucket_next = h->bucket_next;
+    } else {
+      bucket.chain = h->bucket_next;
+    }
+    delete h;
+    return;
+  }
+}
+
+size_t LockTable::CountHeads() {
+  size_t count = 0;
+  for (size_t i = 0; i <= bucket_mask_; ++i) {
+    SpinLatchGuard g(buckets_[i]->latch);
+    for (LockHead* h = buckets_[i]->chain; h != nullptr;
+         h = h->bucket_next) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace slidb

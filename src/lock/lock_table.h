@@ -1,0 +1,73 @@
+// Partitioned hash table of lock heads (paper Figure 2). Buckets are
+// individually latched; lock heads are reference-counted (pins) so they can
+// be reclaimed when their queues drain without invalidating concurrent
+// references.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/lock/lock_head.h"
+#include "src/util/cacheline.h"
+#include "src/util/latch.h"
+
+namespace slidb {
+
+class LockTable {
+ public:
+  /// `num_buckets` is rounded up to a power of two.
+  explicit LockTable(size_t num_buckets = 1 << 14);
+  ~LockTable();
+
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  /// Find or create the head for `id`. The returned head carries one pin
+  /// owned by the caller; pair with Unpin() (directly or by transferring
+  /// the pin to an enqueued request).
+  LockHead* FindOrCreate(const LockId& id);
+
+  /// Find without creating; returns nullptr (and takes no pin) if absent.
+  LockHead* Find(const LockId& id);
+
+  void Unpin(LockHead* head) {
+    head->pin_count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Opportunistically free the head for `id` if its queue is empty and
+  /// nobody holds a pin. Safe to call any time; no-ops when in use.
+  void TryReclaim(const LockId& id);
+
+  /// Iterate all heads (deadlock detector, stats). `fn` is invoked with the
+  /// head latch held; it must not block or acquire other latches.
+  template <typename Fn>
+  void ForEachHead(Fn&& fn) {
+    for (size_t i = 0; i <= bucket_mask_; ++i) {
+      Bucket& bucket = *buckets_[i];
+      SpinLatchGuard bg(bucket.latch);
+      for (LockHead* h = bucket.chain; h != nullptr; h = h->bucket_next) {
+        SpinLatchGuard hg(h->latch);
+        fn(h);
+      }
+    }
+  }
+
+  /// Number of live heads (O(buckets); for tests and stats).
+  size_t CountHeads();
+
+ private:
+  struct Bucket {
+    SpinLatch latch;
+    LockHead* chain = nullptr;
+  };
+
+  Bucket& BucketFor(const LockId& id) {
+    return *buckets_[id.Hash() & bucket_mask_];
+  }
+
+  // Heap array (not vector): buckets contain latches and are immovable.
+  std::unique_ptr<CacheAligned<Bucket>[]> buckets_;
+  size_t bucket_mask_;
+};
+
+}  // namespace slidb

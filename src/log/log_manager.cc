@@ -1,0 +1,125 @@
+#include "src/log/log_manager.h"
+
+#include <cstring>
+
+#include "src/stats/profiler.h"
+#include "src/util/time_util.h"
+
+namespace slidb {
+
+LogManager::LogManager(LogOptions options) : options_(options) {
+  ring_ = std::make_unique<uint8_t[]>(options_.buffer_bytes);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+LogManager::~LogManager() {
+  {
+    std::lock_guard<std::mutex> g(flush_mu_);
+    stop_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+Lsn LogManager::Append(uint64_t txn_id, LogRecordType type,
+                       const void* payload, uint32_t payload_len) {
+  ScopedComponent comp(Component::kLog);
+  const size_t total = sizeof(RecordHeader) + payload_len;
+  const size_t cap = options_.buffer_bytes;
+
+  append_latch_.Acquire();
+  // Wait for ring space: bytes in flight may not exceed capacity.
+  while (appended_lsn_.load(std::memory_order_relaxed) + total -
+             durable_lsn_.load(std::memory_order_acquire) >
+         cap) {
+    append_latch_.Release();
+    flush_cv_.notify_one();
+    const uint64_t t0 = RdCycles();
+    std::this_thread::yield();
+    if (ThreadProfile* p = ThreadProfile::Current()) {
+      p->AttributeBlocked(t0, RdCycles());
+    }
+    append_latch_.Acquire();
+  }
+
+  const Lsn start = appended_lsn_.load(std::memory_order_relaxed);
+  RecordHeader hdr{};
+  hdr.payload_len = payload_len;
+  hdr.type = static_cast<uint8_t>(type);
+  hdr.txn_id = txn_id;
+
+  // Copy header + payload into the ring, handling wrap-around.
+  auto copy_into_ring = [&](Lsn at, const void* src, size_t len) {
+    const size_t pos = static_cast<size_t>(at % cap);
+    const size_t first = std::min(len, cap - pos);
+    std::memcpy(ring_.get() + pos, src, first);
+    if (first < len) {
+      std::memcpy(ring_.get(), static_cast<const uint8_t*>(src) + first,
+                  len - first);
+    }
+  };
+  copy_into_ring(start, &hdr, sizeof(hdr));
+  if (payload_len > 0) {
+    copy_into_ring(start + sizeof(hdr), payload, payload_len);
+  }
+
+  const Lsn end = start + total;
+  appended_lsn_.store(end, std::memory_order_release);
+  records_.fetch_add(1, std::memory_order_relaxed);
+  append_latch_.Release();
+  return end;
+}
+
+void LogManager::WaitDurable(Lsn lsn) {
+  if (!options_.durable_commit) return;
+  if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
+
+  ScopedComponent comp(Component::kLog);
+  const uint64_t t0 = RdCycles();
+  {
+    std::unique_lock<std::mutex> lk(flush_mu_);
+    flush_cv_.notify_one();
+    durable_cv_.wait(lk, [&] {
+      return durable_lsn_.load(std::memory_order_acquire) >= lsn || stop_;
+    });
+  }
+  if (ThreadProfile* p = ThreadProfile::Current()) {
+    p->AttributeBlocked(t0, RdCycles());
+  }
+}
+
+void LogManager::FlusherLoop() {
+  std::unique_lock<std::mutex> lk(flush_mu_);
+  while (!stop_) {
+    flush_cv_.wait_for(lk,
+                       std::chrono::microseconds(options_.flush_interval_us));
+    if (stop_) break;
+    const Lsn target = appended_lsn_.load(std::memory_order_acquire);
+    if (target == durable_lsn_.load(std::memory_order_relaxed)) continue;
+
+    // "Write" the batch: the data is already in memory (our in-memory log
+    // device); charge the configured per-I/O latency.
+    if (options_.simulated_io_delay_us > 0) {
+      lk.unlock();
+      SpinForNanos(options_.simulated_io_delay_us * 1000);
+      lk.lock();
+    }
+    durable_lsn_.store(target, std::memory_order_release);
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    durable_cv_.notify_all();
+  }
+  // Drain on shutdown so no committer hangs.
+  durable_lsn_.store(appended_lsn_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  durable_cv_.notify_all();
+}
+
+LogStats LogManager::Stats() const {
+  LogStats s;
+  s.appended_bytes = appended_lsn_.load(std::memory_order_relaxed);
+  s.records = records_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace slidb

@@ -1,0 +1,40 @@
+// Storage-manager components used for work/contention attribution. These are
+// the categories in the paper's time-breakdown figures (Figs 1, 6, 10).
+#pragma once
+
+#include <cstdint>
+
+namespace slidb {
+
+/// Component a thread is currently executing in. Every cycle an agent thread
+/// spends is attributed to exactly one component, as either useful work,
+/// contention (latch spinning / short blocking), or blocked time (true lock
+/// conflicts and I/O, which the paper excludes from its breakdowns).
+enum class Component : uint8_t {
+  kApp = 0,      ///< transaction body and everything not otherwise classified
+  kLockManager,  ///< lock manager code: acquire, release, upgrade, queues
+  kSli,          ///< speculative lock inheritance bookkeeping
+  kLog,          ///< WAL append and commit flush
+  kBuffer,       ///< buffer pool fix/unfix, eviction, I/O issue
+  kStorage,      ///< heap pages, indexes
+  kTxn,          ///< transaction begin/commit/abort bookkeeping
+  kNumComponents,
+};
+
+inline constexpr size_t kNumComponents =
+    static_cast<size_t>(Component::kNumComponents);
+
+inline const char* ComponentName(Component c) {
+  switch (c) {
+    case Component::kApp: return "app";
+    case Component::kLockManager: return "lockmgr";
+    case Component::kSli: return "sli";
+    case Component::kLog: return "log";
+    case Component::kBuffer: return "buffer";
+    case Component::kStorage: return "storage";
+    case Component::kTxn: return "txn";
+    default: return "?";
+  }
+}
+
+}  // namespace slidb

@@ -1,0 +1,67 @@
+#include "src/stats/counters.h"
+
+#include <cstdio>
+
+namespace slidb {
+
+namespace {
+
+thread_local CounterSet* tls_counters = nullptr;
+thread_local CounterSet tls_fallback;
+
+}  // namespace
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kLockRequests: return "lock.requests";
+    case Counter::kLockCacheHits: return "lock.cache_hits";
+    case Counter::kLockUpgrades: return "lock.upgrades";
+    case Counter::kLockWaits: return "lock.waits";
+    case Counter::kLockTimeouts: return "lock.timeouts";
+    case Counter::kDeadlocks: return "lock.deadlocks";
+    case Counter::kLockReleases: return "lock.releases";
+    case Counter::kAcqRow: return "acq.row";
+    case Counter::kAcqHigh: return "acq.high";
+    case Counter::kAcqShared: return "acq.shared";
+    case Counter::kAcqExclusive: return "acq.exclusive";
+    case Counter::kAcqHot: return "acq.hot";
+    case Counter::kAcqHotHeritable: return "acq.hot_heritable";
+    case Counter::kAcqHotRow: return "acq.hot_row";
+    case Counter::kSliEligible: return "sli.eligible";
+    case Counter::kSliInherited: return "sli.inherited";
+    case Counter::kSliReclaimed: return "sli.reclaimed";
+    case Counter::kSliInvalidated: return "sli.invalidated";
+    case Counter::kSliDiscarded: return "sli.discarded";
+    case Counter::kSliUpgradeAfterReclaim: return "sli.upgrade_after_reclaim";
+    case Counter::kTxnCommits: return "txn.commits";
+    case Counter::kTxnUserAborts: return "txn.user_aborts";
+    case Counter::kTxnDeadlockAborts: return "txn.deadlock_aborts";
+    case Counter::kNumCounters: break;
+  }
+  return "?";
+}
+
+CounterSet& CounterSet::Tls() {
+  return tls_counters != nullptr ? *tls_counters : tls_fallback;
+}
+
+std::string CounterSet::ToString() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    if (Get(c) == 0) continue;
+    std::snprintf(line, sizeof(line), "%-26s %12llu\n", CounterName(c),
+                  static_cast<unsigned long long>(Get(c)));
+    out += line;
+  }
+  return out;
+}
+
+ScopedCounterSet::ScopedCounterSet(CounterSet* set) : prev_(tls_counters) {
+  tls_counters = set;
+}
+
+ScopedCounterSet::~ScopedCounterSet() { tls_counters = prev_; }
+
+}  // namespace slidb

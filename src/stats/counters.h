@@ -1,0 +1,108 @@
+// Software counters for lock-manager and SLI behaviour. These feed Figures 8
+// and 9 (lock-type breakdown and SLI outcome breakdown).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/util/cacheline.h"
+
+namespace slidb {
+
+/// Counter identifiers. Grouped by the figure they feed.
+enum class Counter : uint32_t {
+  // -- general lock manager traffic --
+  kLockRequests = 0,   ///< calls into LockManager::Lock (cache misses incl.)
+  kLockCacheHits,      ///< requests satisfied by the txn's own lock cache
+  kLockUpgrades,       ///< mode upgrades of an existing request
+  kLockWaits,          ///< requests that blocked on a conflict
+  kLockTimeouts,
+  kDeadlocks,          ///< victims aborted by the detector
+  kLockReleases,
+
+  // -- Figure 8: breakdown of acquired locks --
+  kAcqRow,             ///< row-level acquisitions
+  kAcqHigh,            ///< page-level-or-higher acquisitions
+  kAcqShared,          ///< acquisitions in a heritable (shared-class) mode
+  kAcqExclusive,       ///< acquisitions in X/SIX/U
+  kAcqHot,             ///< acquisitions whose lock head was hot
+  kAcqHotHeritable,    ///< hot AND heritable AND high-level
+  kAcqHotRow,          ///< hot row locks (paper expects these to be rare)
+
+  // -- Figure 9: SLI outcomes --
+  kSliEligible,        ///< locks passing all five criteria at release
+  kSliInherited,       ///< requests actually handed to the agent thread
+  kSliReclaimed,       ///< inherited requests used by the next transaction
+  kSliInvalidated,     ///< inherited requests killed by a conflicting request
+  kSliDiscarded,       ///< inherited requests released unused at next commit
+  kSliUpgradeAfterReclaim,  ///< reclaimed, then needed a stronger mode
+
+  // -- transactions --
+  kTxnCommits,
+  kTxnUserAborts,      ///< benchmark-specified failures (invalid input)
+  kTxnDeadlockAborts,
+
+  kNumCounters,
+};
+
+inline constexpr size_t kNumCounters =
+    static_cast<size_t>(Counter::kNumCounters);
+
+const char* CounterName(Counter c);
+
+/// A set of counters. Each agent thread owns one (unsynchronized fast path);
+/// the driver merges them. An atomic global set is also provided for code
+/// paths with no thread context.
+class CounterSet {
+ public:
+  CounterSet() { values_.fill(0); }
+
+  void Add(Counter c, uint64_t delta = 1) {
+    values_[static_cast<size_t>(c)] += delta;
+  }
+
+  uint64_t Get(Counter c) const { return values_[static_cast<size_t>(c)]; }
+
+  void Merge(const CounterSet& other) {
+    for (size_t i = 0; i < kNumCounters; ++i) values_[i] += other.values_[i];
+  }
+
+  CounterSet Delta(const CounterSet& baseline) const {
+    CounterSet out;
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      out.values_[i] = values_[i] - baseline.values_[i];
+    }
+    return out;
+  }
+
+  void Reset() { values_.fill(0); }
+
+  std::string ToString() const;
+
+  /// Thread-local counter set used by library internals. Defaults to a
+  /// process-wide fallback set so counters are never lost; agent threads
+  /// install their own with ScopedCounterSet.
+  static CounterSet& Tls();
+
+ private:
+  std::array<uint64_t, kNumCounters> values_;
+};
+
+/// RAII: route the calling thread's counter updates into `set`.
+class ScopedCounterSet {
+ public:
+  explicit ScopedCounterSet(CounterSet* set);
+  ~ScopedCounterSet();
+
+ private:
+  CounterSet* prev_;
+};
+
+/// Shorthand used across the library.
+inline void CountEvent(Counter c, uint64_t delta = 1) {
+  CounterSet::Tls().Add(c, delta);
+}
+
+}  // namespace slidb

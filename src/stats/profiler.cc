@@ -1,0 +1,126 @@
+#include "src/stats/profiler.h"
+
+#include <cstdio>
+
+namespace slidb {
+
+thread_local ThreadProfile* ThreadProfile::tls_current_ = nullptr;
+
+ThreadProfile::ThreadProfile() : depth_(0), last_stamp_(RdCycles()) {
+  stack_[0] = Component::kApp;
+}
+
+ThreadProfile::~ThreadProfile() = default;
+
+void ThreadProfile::Flush() {
+  const uint64_t now = RdCycles();
+  work_[CurIdx()] += now - last_stamp_;
+  last_stamp_ = now;
+}
+
+ProfileSnapshot ThreadProfile::Snapshot() const {
+  ProfileSnapshot snap;
+  snap.work = work_;
+  snap.contention = contention_;
+  snap.blocked = blocked_;
+  return snap;
+}
+
+ScopedThreadProfile::ScopedThreadProfile(ThreadProfile* profile)
+    : prev_(ThreadProfile::tls_current_) {
+  ThreadProfile::tls_current_ = profile;
+  if (profile != nullptr) profile->last_stamp_ = RdCycles();
+}
+
+ScopedThreadProfile::~ScopedThreadProfile() {
+  if (ThreadProfile::tls_current_ != nullptr) {
+    ThreadProfile::tls_current_->Flush();
+  }
+  ThreadProfile::tls_current_ = prev_;
+}
+
+uint64_t ProfileSnapshot::TotalWork() const {
+  uint64_t total = 0;
+  for (auto v : work) total += v;
+  return total;
+}
+
+uint64_t ProfileSnapshot::TotalContention() const {
+  uint64_t total = 0;
+  for (auto v : contention) total += v;
+  return total;
+}
+
+uint64_t ProfileSnapshot::TotalBlocked() const {
+  uint64_t total = 0;
+  for (auto v : blocked) total += v;
+  return total;
+}
+
+uint64_t ProfileSnapshot::TotalCpu() const {
+  return TotalWork() + TotalContention();
+}
+
+ProfileSnapshot& ProfileSnapshot::operator+=(const ProfileSnapshot& other) {
+  for (size_t i = 0; i < kNumComponents; ++i) {
+    work[i] += other.work[i];
+    contention[i] += other.contention[i];
+    blocked[i] += other.blocked[i];
+  }
+  return *this;
+}
+
+ProfileSnapshot ProfileSnapshot::operator-(const ProfileSnapshot& other) const {
+  ProfileSnapshot out = *this;
+  for (size_t i = 0; i < kNumComponents; ++i) {
+    out.work[i] -= other.work[i];
+    out.contention[i] -= other.contention[i];
+    out.blocked[i] -= other.blocked[i];
+  }
+  return out;
+}
+
+double ProfileSnapshot::WorkFraction(Component c) const {
+  const uint64_t cpu = TotalCpu();
+  if (cpu == 0) return 0.0;
+  return static_cast<double>(work[static_cast<size_t>(c)]) /
+         static_cast<double>(cpu);
+}
+
+double ProfileSnapshot::ContentionFraction(Component c) const {
+  const uint64_t cpu = TotalCpu();
+  if (cpu == 0) return 0.0;
+  return static_cast<double>(contention[static_cast<size_t>(c)]) /
+         static_cast<double>(cpu);
+}
+
+std::string ProfileSnapshot::ToString() const {
+  std::string out;
+  char line[160];
+  const uint64_t cpu = TotalCpu();
+  std::snprintf(line, sizeof(line), "%-10s %12s %12s %8s %8s\n", "component",
+                "work(Mcy)", "cont(Mcy)", "work%", "cont%");
+  out += line;
+  for (size_t i = 0; i < kNumComponents; ++i) {
+    const auto c = static_cast<Component>(i);
+    std::snprintf(
+        line, sizeof(line), "%-10s %12.1f %12.1f %7.2f%% %7.2f%%\n",
+        ComponentName(c), static_cast<double>(work[i]) / 1e6,
+        static_cast<double>(contention[i]) / 1e6,
+        cpu == 0 ? 0.0 : 100.0 * WorkFraction(c),
+        cpu == 0 ? 0.0 : 100.0 * ContentionFraction(c));
+    out += line;
+  }
+  return out;
+}
+
+ProfileSnapshot AggregateProfiles(
+    const std::vector<const ThreadProfile*>& profiles) {
+  ProfileSnapshot total;
+  for (const auto* p : profiles) {
+    if (p != nullptr) total += p->Snapshot();
+  }
+  return total;
+}
+
+}  // namespace slidb

@@ -1,0 +1,145 @@
+// Per-thread work/contention profiler.
+//
+// The paper's methodology (Section 5) measures *work* performed by each
+// component of the storage manager and splits it into useful work vs
+// contention (latch spinning and short blocking), excluding time blocked on
+// I/O or true lock conflicts. slidb reproduces this with a thread-local
+// cycle accountant: threads declare the component they are executing in via
+// scoped guards, and the instrumented latches attribute contended-acquisition
+// cycles to the active component.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/stats/component.h"
+#include "src/util/cacheline.h"
+#include "src/util/time_util.h"
+
+namespace slidb {
+
+/// Aggregated cycle breakdown, one row per component.
+struct ProfileSnapshot {
+  std::array<uint64_t, kNumComponents> work{};
+  std::array<uint64_t, kNumComponents> contention{};
+  std::array<uint64_t, kNumComponents> blocked{};
+
+  uint64_t TotalWork() const;
+  uint64_t TotalContention() const;
+  uint64_t TotalBlocked() const;
+  /// Work + contention (the paper's "CPU time"; blocked time excluded).
+  uint64_t TotalCpu() const;
+
+  ProfileSnapshot& operator+=(const ProfileSnapshot& other);
+  ProfileSnapshot operator-(const ProfileSnapshot& other) const;
+
+  /// Fraction of CPU time spent in `c` as work / as contention.
+  double WorkFraction(Component c) const;
+  double ContentionFraction(Component c) const;
+
+  /// Multi-line human-readable table.
+  std::string ToString() const;
+};
+
+/// Thread-local cycle accountant. Install one per agent thread with
+/// ScopedThreadProfile; library code reaches it through Current().
+class ThreadProfile {
+ public:
+  ThreadProfile();
+  ~ThreadProfile();
+
+  ThreadProfile(const ThreadProfile&) = delete;
+  ThreadProfile& operator=(const ThreadProfile&) = delete;
+
+  /// The calling thread's active profile, or nullptr when profiling is off.
+  static ThreadProfile* Current() { return tls_current_; }
+
+  /// Enter/exit a component scope. Prefer ScopedComponent.
+  void Enter(Component c) {
+    const uint64_t now = RdCycles();
+    work_[CurIdx()] += now - last_stamp_;
+    last_stamp_ = now;
+    stack_[++depth_] = c;
+  }
+
+  void Exit() {
+    const uint64_t now = RdCycles();
+    work_[CurIdx()] += now - last_stamp_;
+    last_stamp_ = now;
+    --depth_;
+  }
+
+  Component current() const { return stack_[depth_]; }
+
+  /// Attribute [start, end) cycles to contention in the current component
+  /// (called from latches after a contended acquisition).
+  void AttributeContention(uint64_t start, uint64_t end) {
+    work_[CurIdx()] += start - last_stamp_;
+    contention_[CurIdx()] += end - start;
+    last_stamp_ = end;
+  }
+
+  /// Attribute [start, end) cycles to blocked time (lock waits, I/O),
+  /// excluded from the paper's CPU-time breakdowns.
+  void AttributeBlocked(uint64_t start, uint64_t end) {
+    work_[CurIdx()] += start - last_stamp_;
+    blocked_[CurIdx()] += end - start;
+    last_stamp_ = end;
+  }
+
+  /// Fold accumulated cycles into a snapshot and zero the accumulators.
+  void Flush();
+
+  ProfileSnapshot Snapshot() const;
+
+ private:
+  friend class ScopedThreadProfile;
+
+  size_t CurIdx() const { return static_cast<size_t>(stack_[depth_]); }
+
+  static thread_local ThreadProfile* tls_current_;
+
+  static constexpr int kMaxDepth = 15;
+  std::array<Component, kMaxDepth + 1> stack_;
+  int depth_;
+  uint64_t last_stamp_;
+  std::array<uint64_t, kNumComponents> work_{};
+  std::array<uint64_t, kNumComponents> contention_{};
+  std::array<uint64_t, kNumComponents> blocked_{};
+};
+
+/// RAII: install a ThreadProfile as the calling thread's accountant.
+class ScopedThreadProfile {
+ public:
+  explicit ScopedThreadProfile(ThreadProfile* profile);
+  ~ScopedThreadProfile();
+
+ private:
+  ThreadProfile* prev_;
+};
+
+/// RAII component scope; nests (inner scopes shadow outer ones).
+class ScopedComponent {
+ public:
+  explicit ScopedComponent(Component c) : profile_(ThreadProfile::Current()) {
+    if (profile_ != nullptr) profile_->Enter(c);
+  }
+  ~ScopedComponent() {
+    if (profile_ != nullptr) profile_->Exit();
+  }
+
+  ScopedComponent(const ScopedComponent&) = delete;
+  ScopedComponent& operator=(const ScopedComponent&) = delete;
+
+ private:
+  ThreadProfile* profile_;
+};
+
+/// Aggregates snapshots across a set of thread profiles (the driver owns the
+/// profiles; no global registry so tests stay hermetic).
+ProfileSnapshot AggregateProfiles(
+    const std::vector<const ThreadProfile*>& profiles);
+
+}  // namespace slidb

@@ -1,0 +1,417 @@
+#include "src/storage/btree.h"
+
+#include <cassert>
+
+#include "src/stats/profiler.h"
+
+namespace slidb {
+
+// Entries are totally ordered by the (key, value) pair, which makes
+// duplicate keys unambiguous: every entry has exactly one location.
+struct BTree::Node {
+  RwLatch latch;
+  bool leaf = true;
+  uint16_t count = 0;
+  uint64_t keys[kFanout];
+  uint64_t vals[kFanout];          // leaf: values; internal: separator tie-break
+  Node* children[kFanout + 1];     // internal only
+  Node* next = nullptr;            // leaf chain
+};
+
+namespace {
+
+inline bool PairLess(uint64_t k1, uint64_t v1, uint64_t k2, uint64_t v2) {
+  return k1 < k2 || (k1 == k2 && v1 < v2);
+}
+
+}  // namespace
+
+/// First index with (keys[i], vals[i]) >= (k, v).
+static int LowerBound(const BTree::Node* n, uint64_t k, uint64_t v);
+/// First index with (keys[i], vals[i]) > (k, v).
+static int UpperBound(const BTree::Node* n, uint64_t k, uint64_t v);
+
+static int LowerBound(const BTree::Node* n, uint64_t k, uint64_t v) {
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (PairLess(n->keys[mid], n->vals[mid], k, v)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+static int UpperBound(const BTree::Node* n, uint64_t k, uint64_t v) {
+  int lo = 0, hi = n->count;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (PairLess(k, v, n->keys[mid], n->vals[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+BTree::BTree() {
+  root_ = new Node();
+  root_->leaf = true;
+}
+
+BTree::~BTree() { FreeTree(root_); }
+
+void BTree::FreeTree(Node* n) {
+  if (!n->leaf) {
+    for (int i = 0; i <= n->count; ++i) FreeTree(n->children[i]);
+  }
+  delete n;
+}
+
+// ---- insert ----
+
+namespace {
+
+/// Insert into a non-full leaf at the sorted position. Returns false if the
+/// exact (k, v) pair already exists.
+bool LeafInsert(BTree::Node* leaf, uint64_t k, uint64_t v) {
+  const int idx = LowerBound(leaf, k, v);
+  if (idx < leaf->count && leaf->keys[idx] == k && leaf->vals[idx] == v) {
+    return false;
+  }
+  for (int i = leaf->count; i > idx; --i) {
+    leaf->keys[i] = leaf->keys[i - 1];
+    leaf->vals[i] = leaf->vals[i - 1];
+  }
+  leaf->keys[idx] = k;
+  leaf->vals[idx] = v;
+  leaf->count++;
+  return true;
+}
+
+/// Split a full child (X-latched) under its X-latched, non-full parent.
+/// After the call, `child` holds the lower half and the new right sibling
+/// (unlatched — not yet visible to anyone else) holds the upper half.
+void SplitChild(BTree::Node* parent, int child_slot, BTree::Node* child) {
+  auto* right = new BTree::Node();
+  right->leaf = child->leaf;
+  const int mid = child->count / 2;
+
+  if (child->leaf) {
+    // Copy upper half; the separator (first right pair) is copied up.
+    right->count = static_cast<uint16_t>(child->count - mid);
+    for (int i = 0; i < right->count; ++i) {
+      right->keys[i] = child->keys[mid + i];
+      right->vals[i] = child->vals[mid + i];
+    }
+    child->count = static_cast<uint16_t>(mid);
+    right->next = child->next;
+    child->next = right;
+  } else {
+    // Move upper separators/children; the middle separator moves up.
+    right->count = static_cast<uint16_t>(child->count - mid - 1);
+    for (int i = 0; i < right->count; ++i) {
+      right->keys[i] = child->keys[mid + 1 + i];
+      right->vals[i] = child->vals[mid + 1 + i];
+    }
+    for (int i = 0; i <= right->count; ++i) {
+      right->children[i] = child->children[mid + 1 + i];
+    }
+    child->count = static_cast<uint16_t>(mid);
+  }
+
+  // Insert separator + right child into the parent at child_slot.
+  const uint64_t sep_k =
+      child->leaf ? right->keys[0] : child->keys[mid];
+  const uint64_t sep_v =
+      child->leaf ? right->vals[0] : child->vals[mid];
+  for (int i = parent->count; i > child_slot; --i) {
+    parent->keys[i] = parent->keys[i - 1];
+    parent->vals[i] = parent->vals[i - 1];
+    parent->children[i + 1] = parent->children[i];
+  }
+  parent->keys[child_slot] = sep_k;
+  parent->vals[child_slot] = sep_v;
+  parent->children[child_slot + 1] = right;
+  parent->count++;
+}
+
+}  // namespace
+
+Status BTree::Insert(uint64_t key, uint64_t value) {
+  ScopedComponent comp(Component::kStorage);
+
+  // Optimistic pass: shared-latch crabbing, exclusive only at the leaf.
+  {
+    root_latch_.AcquireShared();
+    Node* node = root_;
+    node->latch.AcquireShared();
+    root_latch_.ReleaseShared();
+    while (!node->leaf) {
+      const int slot = UpperBound(node, key, value);
+      Node* child = node->children[slot];
+      if (child->leaf) {
+        child->latch.AcquireExclusive();
+        node->latch.ReleaseShared();
+        if (child->count < kFanout) {
+          const bool ok = LeafInsert(child, key, value);
+          child->latch.ReleaseExclusive();
+          if (!ok) return Status::KeyExists();
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();
+        }
+        child->latch.ReleaseExclusive();
+        goto pessimistic;  // leaf full: need splits
+      }
+      child->latch.AcquireShared();
+      node->latch.ReleaseShared();
+      node = child;
+    }
+    // Root is itself a leaf: drop the shared latch and take the (cheap for
+    // tiny trees) pessimistic path below.
+    node->latch.ReleaseShared();
+  }
+
+pessimistic:
+  // Pessimistic pass: exclusive crabbing with preemptive splits.
+  root_latch_.AcquireExclusive();
+  Node* node = root_;
+  node->latch.AcquireExclusive();
+  if (node->count == kFanout) {
+    auto* new_root = new Node();
+    new_root->leaf = false;
+    new_root->count = 0;
+    new_root->children[0] = node;
+    SplitChild(new_root, 0, node);
+    root_ = new_root;
+    // Keep descending from the new root; it is non-full by construction.
+    new_root->latch.AcquireExclusive();
+    const int slot = UpperBound(new_root, key, value);
+    Node* child = new_root->children[slot];
+    if (child != node) {
+      node->latch.ReleaseExclusive();
+      child->latch.AcquireExclusive();
+    }
+    new_root->latch.ReleaseExclusive();
+    node = child;
+  }
+  root_latch_.ReleaseExclusive();
+
+  while (!node->leaf) {
+    const int slot = UpperBound(node, key, value);
+    Node* child = node->children[slot];
+    child->latch.AcquireExclusive();
+    if (child->count == kFanout) {
+      SplitChild(node, slot, child);
+      // Which side does the entry go to?
+      const int new_slot = UpperBound(node, key, value);
+      if (new_slot != slot) {
+        Node* other = node->children[new_slot];
+        child->latch.ReleaseExclusive();
+        other->latch.AcquireExclusive();
+        child = other;
+      }
+    }
+    node->latch.ReleaseExclusive();
+    node = child;
+  }
+
+  const bool ok = LeafInsert(node, key, value);
+  node->latch.ReleaseExclusive();
+  if (!ok) return Status::KeyExists();
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---- remove ----
+
+Status BTree::Remove(uint64_t key, uint64_t value) {
+  ScopedComponent comp(Component::kStorage);
+  // A node's `leaf` flag is immutable after construction, so it can be read
+  // before the node latch: a leaf root is latched exclusively right away.
+  root_latch_.AcquireShared();
+  Node* node = root_;
+  if (node->leaf) {
+    node->latch.AcquireExclusive();
+    root_latch_.ReleaseShared();
+  } else {
+    node->latch.AcquireShared();
+    root_latch_.ReleaseShared();
+    while (!node->leaf) {
+      const int slot = UpperBound(node, key, value);
+      Node* child = node->children[slot];
+      if (child->leaf) {
+        child->latch.AcquireExclusive();
+      } else {
+        child->latch.AcquireShared();
+      }
+      node->latch.ReleaseShared();
+      node = child;
+    }
+  }
+
+  const int idx = LowerBound(node, key, value);
+  if (idx >= node->count || node->keys[idx] != key ||
+      node->vals[idx] != value) {
+    node->latch.ReleaseExclusive();
+    return Status::NotFound();
+  }
+  for (int i = idx; i + 1 < node->count; ++i) {
+    node->keys[i] = node->keys[i + 1];
+    node->vals[i] = node->vals[i + 1];
+  }
+  node->count--;
+  node->latch.ReleaseExclusive();
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---- lookup / scan ----
+
+Status BTree::Lookup(uint64_t key, uint64_t* value) const {
+  bool found = false;
+  Scan(key, key, [&](uint64_t, uint64_t v) {
+    *value = v;
+    found = true;
+    return false;  // first match only
+  });
+  return found ? Status::OK() : Status::NotFound();
+}
+
+void BTree::LookupAll(uint64_t key, std::vector<uint64_t>* values) const {
+  values->clear();
+  Scan(key, key, [&](uint64_t, uint64_t v) {
+    values->push_back(v);
+    return true;
+  });
+}
+
+void BTree::Scan(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t key, uint64_t value)>& fn) const {
+  ScopedComponent comp(Component::kStorage);
+  root_latch_.AcquireShared();
+  Node* node = root_;
+  node->latch.AcquireShared();
+  root_latch_.ReleaseShared();
+
+  while (!node->leaf) {
+    // Route toward the smallest pair >= (lo, 0): children[i] holds pairs
+    // below separator i, so descend at the first separator > (lo, 0).
+    // A separator equal to (lo, 0) sends us right, where the pair lives.
+    const int slot = UpperBound(node, lo, 0);
+    Node* child = node->children[slot];
+    child->latch.AcquireShared();
+    node->latch.ReleaseShared();
+    node = child;
+  }
+
+  int idx = LowerBound(node, lo, 0);
+  for (;;) {
+    if (idx >= node->count) {
+      Node* next = node->next;
+      if (next == nullptr) {
+        node->latch.ReleaseShared();
+        return;
+      }
+      next->latch.AcquireShared();
+      node->latch.ReleaseShared();
+      node = next;
+      idx = 0;
+      continue;
+    }
+    const uint64_t k = node->keys[idx];
+    const uint64_t v = node->vals[idx];
+    if (k > hi) {
+      node->latch.ReleaseShared();
+      return;
+    }
+    if (k >= lo) {
+      if (!fn(k, v)) {
+        node->latch.ReleaseShared();
+        return;
+      }
+    }
+    ++idx;
+  }
+}
+
+void BTree::ScanReverse(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t key, uint64_t value)>& fn) const {
+  // Reverse iteration is implemented by buffering the (bounded) forward
+  // range — slidb's reverse scans are short (newest order per customer /
+  // district) so this stays cheap and avoids backward latch coupling.
+  std::vector<std::pair<uint64_t, uint64_t>> buf;
+  Scan(lo, hi, [&](uint64_t k, uint64_t v) {
+    buf.emplace_back(k, v);
+    return true;
+  });
+  for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+    if (!fn(it->first, it->second)) return;
+  }
+}
+
+// ---- validation ----
+
+namespace {
+
+bool CheckNode(const BTree::Node* n, bool is_root, uint64_t* first_k,
+               uint64_t* first_v, uint64_t* last_k, uint64_t* last_v,
+               uint64_t* leaf_entries) {
+  // Sorted, unique (key,value) pairs within the node.
+  for (int i = 1; i < n->count; ++i) {
+    if (!PairLess(n->keys[i - 1], n->vals[i - 1], n->keys[i], n->vals[i])) {
+      return false;
+    }
+  }
+  // Lazy deletion may drain a leaf completely without unlinking it; only
+  // internal nodes are required to stay populated.
+  if (!is_root && n->count == 0 && !n->leaf) return false;
+  if (n->leaf) {
+    *leaf_entries += n->count;
+    if (n->count > 0) {
+      *first_k = n->keys[0];
+      *first_v = n->vals[0];
+      *last_k = n->keys[n->count - 1];
+      *last_v = n->vals[n->count - 1];
+    }
+    return true;
+  }
+  // Children ranges must respect separators.
+  for (int i = 0; i <= n->count; ++i) {
+    uint64_t cfk = 0, cfv = 0, clk = 0, clv = 0;
+    if (!CheckNode(n->children[i], false, &cfk, &cfv, &clk, &clv,
+                   leaf_entries)) {
+      return false;
+    }
+    if (n->children[i]->count == 0) continue;
+    if (i > 0 &&
+        PairLess(cfk, cfv, n->keys[i - 1], n->vals[i - 1])) {
+      return false;  // child min below left separator
+    }
+    if (i < n->count && PairLess(n->keys[i], n->vals[i], clk, clv)) {
+      return false;  // child max above right separator
+    }
+  }
+  if (n->count > 0) {
+    *first_k = n->keys[0];
+    *first_v = n->vals[0];
+    *last_k = n->keys[n->count - 1];
+    *last_v = n->vals[n->count - 1];
+  }
+  return true;
+}
+
+}  // namespace
+
+bool BTree::CheckInvariants() const {
+  uint64_t fk = 0, fv = 0, lk = 0, lv = 0, leaf_entries = 0;
+  if (!CheckNode(root_, true, &fk, &fv, &lk, &lv, &leaf_entries)) return false;
+  return leaf_entries == size();
+}
+
+}  // namespace slidb

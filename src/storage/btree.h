@@ -1,0 +1,75 @@
+// In-memory B+-tree mapping uint64 keys to uint64 values (RIDs), with
+// duplicate-key support (entries are ordered by (key, value)) and
+// reader/writer latch crabbing. Used for primary and range-scanned
+// secondary indexes (TPC-C needs ordered access: next order id, newest
+// order per customer, last 20 orders per district).
+//
+// Deletes are lazy: entries are removed in place but nodes never merge —
+// acceptable for OLTP workloads whose tables only grow or churn in place,
+// and documented as a trade-off in DESIGN.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/util/latch.h"
+#include "src/util/status.h"
+
+namespace slidb {
+
+class BTree {
+ public:
+  static constexpr int kFanout = 64;  ///< max entries per node
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Insert (key, value). Duplicate (key, value) pairs are rejected with
+  /// KeyExists; duplicate keys with distinct values are allowed.
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Remove the exact (key, value) entry.
+  Status Remove(uint64_t key, uint64_t value);
+
+  /// First value for `key` (smallest value among duplicates).
+  Status Lookup(uint64_t key, uint64_t* value) const;
+
+  /// All values for `key`.
+  void LookupAll(uint64_t key, std::vector<uint64_t>* values) const;
+
+  /// Visit entries with lo <= key <= hi in (key, value) order; return false
+  /// from `fn` to stop early.
+  void Scan(uint64_t lo, uint64_t hi,
+            const std::function<bool(uint64_t key, uint64_t value)>& fn) const;
+
+  /// Visit entries in REVERSE order with lo <= key <= hi (newest-first
+  /// scans, e.g. "most recent order"); return false to stop.
+  void ScanReverse(
+      uint64_t lo, uint64_t hi,
+      const std::function<bool(uint64_t key, uint64_t value)>& fn) const;
+
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Validate structural invariants (test support): sortedness, fill, and
+  /// leaf chain consistency. Returns false on violation.
+  bool CheckInvariants() const;
+
+  /// Node layout is public for the implementation file and white-box tests;
+  /// treat as private elsewhere.
+  struct Node;
+
+ private:
+  Node* root_;                 // guarded by root_latch_
+  mutable RwLatch root_latch_; // protects the root pointer itself
+  std::atomic<uint64_t> size_{0};
+
+  void FreeTree(Node* n);
+};
+
+}  // namespace slidb

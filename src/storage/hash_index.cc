@@ -1,0 +1,56 @@
+#include "src/storage/hash_index.h"
+
+#include <bit>
+
+namespace slidb {
+
+HashIndex::HashIndex(size_t shards) {
+  shards = std::bit_ceil(shards < 1 ? size_t{1} : shards);
+  shards_ = std::make_unique<CacheAligned<Shard>[]>(shards);
+  shard_mask_ = shards - 1;
+}
+
+Status HashIndex::Insert(uint64_t key, uint64_t value) {
+  Shard& s = ShardFor(key);
+  SpinLatchGuard g(s.latch);
+  auto [lo, hi] = s.map.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == value) return Status::KeyExists();
+  }
+  s.map.emplace(key, value);
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status HashIndex::Remove(uint64_t key, uint64_t value) {
+  Shard& s = ShardFor(key);
+  SpinLatchGuard g(s.latch);
+  auto [lo, hi] = s.map.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == value) {
+      s.map.erase(it);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound();
+}
+
+Status HashIndex::Lookup(uint64_t key, uint64_t* value) const {
+  const Shard& s = ShardFor(key);
+  SpinLatchGuard g(s.latch);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return Status::NotFound();
+  *value = it->second;
+  return Status::OK();
+}
+
+void HashIndex::LookupAll(uint64_t key, std::vector<uint64_t>* values) const {
+  values->clear();
+  const Shard& s = ShardFor(key);
+  SpinLatchGuard g(s.latch);
+  auto [lo, hi] = s.map.equal_range(key);
+  for (auto it = lo; it != hi; ++it) values->push_back(it->second);
+}
+
+}  // namespace slidb

@@ -1,0 +1,55 @@
+// Sharded hash index: uint64 key → uint64 value multimap for exact-match
+// secondary indexes (e.g. TM1 subscriber number → subscriber id).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/cacheline.h"
+#include "src/util/latch.h"
+#include "src/util/status.h"
+
+namespace slidb {
+
+class HashIndex {
+ public:
+  explicit HashIndex(size_t shards = 64);
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  /// Insert (key, value). Rejects an exact duplicate pair with KeyExists.
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Remove the exact (key, value) pair.
+  Status Remove(uint64_t key, uint64_t value);
+
+  /// First value for key (unspecified which among duplicates).
+  Status Lookup(uint64_t key, uint64_t* value) const;
+
+  void LookupAll(uint64_t key, std::vector<uint64_t>* values) const;
+
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    mutable SpinLatch latch;
+    std::unordered_multimap<uint64_t, uint64_t> map;
+  };
+
+  Shard& ShardFor(uint64_t key) const {
+    uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return *shards_[h & shard_mask_];
+  }
+
+  std::unique_ptr<CacheAligned<Shard>[]> shards_;
+  size_t shard_mask_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace slidb

@@ -1,0 +1,141 @@
+#include "src/storage/heap_file.h"
+
+#include <cstring>
+
+#include "src/stats/profiler.h"
+
+namespace slidb {
+
+HeapFile::HeapFile(BufferPool* pool) : pool_(pool) {
+  file_id_ = pool_->volume()->CreateFile();
+}
+
+uint64_t HeapFile::page_count() const {
+  return pool_->volume()->PageCount(file_id_);
+}
+
+uint64_t HeapFile::FindPageWithSpace(size_t need) {
+  SpinLatchGuard g(fsm_latch_);
+  // Scan newest-first: appends cluster on recent pages, mirroring the
+  // "roving hotspot" pattern the paper discusses (§4.4).
+  const size_t n = fsm_.size();
+  const size_t window = n < 16 ? n : 16;
+  for (size_t i = 0; i < window; ++i) {
+    const size_t idx = n - 1 - i;
+    if (fsm_[idx] >= need + sizeof(SlottedPage::Slot)) {
+      return idx;
+    }
+  }
+  // No recent page fits: extend the file.
+  g.Unlock();
+  PageId id;
+  PageGuard guard;
+  const Status st = pool_->NewPage(file_id_, &id, &guard);
+  if (!st.ok()) return UINT64_MAX;
+  SlottedPage::Init(guard.page());
+  guard.MarkDirty();
+  const auto free_bytes =
+      static_cast<uint32_t>(SlottedPage::FreeSpace(guard.page()));
+  guard.Release();
+  SpinLatchGuard g2(fsm_latch_);
+  if (fsm_.size() <= id.page_no) fsm_.resize(id.page_no + 1, 0);
+  fsm_[id.page_no] = free_bytes;
+  return id.page_no;
+}
+
+void HeapFile::UpdateFsm(uint64_t page_no, size_t free_bytes) {
+  SpinLatchGuard g(fsm_latch_);
+  if (fsm_.size() <= page_no) fsm_.resize(page_no + 1, 0);
+  fsm_[page_no] = static_cast<uint32_t>(free_bytes);
+}
+
+Status HeapFile::Insert(std::span<const uint8_t> rec, Rid* rid) {
+  ScopedComponent comp(Component::kStorage);
+  if (rec.size() > SlottedPage::MaxRecordSize()) {
+    return Status::InvalidArgument("record too large");
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint64_t page_no = FindPageWithSpace(rec.size());
+    if (page_no == UINT64_MAX) return Status::IoError("allocation failed");
+    PageGuard guard;
+    SLIDB_RETURN_NOT_OK(
+        pool_->FixPage(PageId{file_id_, page_no}, /*exclusive=*/true, &guard));
+    const int slot = SlottedPage::Insert(guard.page(), rec);
+    if (slot >= 0) {
+      guard.MarkDirty();
+      UpdateFsm(page_no, SlottedPage::FreeSpace(guard.page()));
+      rid->page_no = page_no;
+      rid->slot = static_cast<uint16_t>(slot);
+      return Status::OK();
+    }
+    // Lost a race for the space; refresh the estimate and retry.
+    UpdateFsm(page_no, SlottedPage::FreeSpace(guard.page()));
+  }
+  return Status::Busy("insert retries exhausted");
+}
+
+Status HeapFile::Read(Rid rid, std::string* out) {
+  ScopedComponent comp(Component::kStorage);
+  PageGuard guard;
+  SLIDB_RETURN_NOT_OK(
+      pool_->FixPage(PageId{file_id_, rid.page_no}, /*exclusive=*/false,
+                     &guard));
+  const auto rec = SlottedPage::Get(guard.page(), rid.slot);
+  if (rec.empty()) return Status::NotFound("no record at rid");
+  out->assign(reinterpret_cast<const char*>(rec.data()), rec.size());
+  return Status::OK();
+}
+
+Status HeapFile::ReadInto(Rid rid, void* buf, size_t len) {
+  ScopedComponent comp(Component::kStorage);
+  PageGuard guard;
+  SLIDB_RETURN_NOT_OK(
+      pool_->FixPage(PageId{file_id_, rid.page_no}, /*exclusive=*/false,
+                     &guard));
+  const auto rec = SlottedPage::Get(guard.page(), rid.slot);
+  if (rec.empty()) return Status::NotFound("no record at rid");
+  if (rec.size() != len) return Status::InvalidArgument("size mismatch");
+  std::memcpy(buf, rec.data(), len);
+  return Status::OK();
+}
+
+Status HeapFile::Update(Rid rid, std::span<const uint8_t> rec) {
+  ScopedComponent comp(Component::kStorage);
+  PageGuard guard;
+  SLIDB_RETURN_NOT_OK(
+      pool_->FixPage(PageId{file_id_, rid.page_no}, /*exclusive=*/true,
+                     &guard));
+  SLIDB_RETURN_NOT_OK(SlottedPage::Update(guard.page(), rid.slot, rec));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::Delete(Rid rid) {
+  ScopedComponent comp(Component::kStorage);
+  PageGuard guard;
+  SLIDB_RETURN_NOT_OK(
+      pool_->FixPage(PageId{file_id_, rid.page_no}, /*exclusive=*/true,
+                     &guard));
+  SLIDB_RETURN_NOT_OK(SlottedPage::Delete(guard.page(), rid.slot));
+  guard.MarkDirty();
+  UpdateFsm(rid.page_no, SlottedPage::FreeSpace(guard.page()));
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<void(Rid, std::span<const uint8_t>)>& fn) {
+  ScopedComponent comp(Component::kStorage);
+  const uint64_t pages = page_count();
+  for (uint64_t p = 0; p < pages; ++p) {
+    PageGuard guard;
+    SLIDB_RETURN_NOT_OK(
+        pool_->FixPage(PageId{file_id_, p}, /*exclusive=*/false, &guard));
+    SlottedPage::ForEach(guard.page(),
+                         [&](uint16_t slot, std::span<const uint8_t> rec) {
+                           fn(Rid{p, slot}, rec);
+                         });
+  }
+  return Status::OK();
+}
+
+}  // namespace slidb

@@ -1,0 +1,48 @@
+// Agent threads: the worker context that executes transactions back-to-back.
+// SLI state is agent-scoped (paper §4.1): locks pass from a committing
+// transaction to the *same agent's* next transaction.
+#pragma once
+
+#include <cstdint>
+
+#include "src/lock/agent_sli.h"
+#include "src/stats/counters.h"
+#include "src/stats/profiler.h"
+#include "src/txn/transaction.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+
+namespace slidb {
+
+/// Everything one worker thread owns: its reusable transaction (and its
+/// LockClient), its SLI inheritance list and request pool, its profiler,
+/// counters, latency histogram, and RNG. Not thread-safe; single owner.
+class AgentContext {
+ public:
+  explicit AgentContext(uint32_t id, uint64_t seed = 1)
+      : id_(id), sli_(id), rng_(seed + id * 0x9e3779b9ULL) {
+    txn_.lock_client().SetPool(&sli_.pool());
+  }
+
+  AgentContext(const AgentContext&) = delete;
+  AgentContext& operator=(const AgentContext&) = delete;
+
+  uint32_t id() const { return id_; }
+  Transaction& txn() { return txn_; }
+  AgentSliState& sli() { return sli_; }
+  ThreadProfile& profile() { return profile_; }
+  CounterSet& counters() { return counters_; }
+  Histogram& latency() { return latency_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  uint32_t id_;
+  Transaction txn_;
+  AgentSliState sli_;
+  ThreadProfile profile_;
+  CounterSet counters_;
+  Histogram latency_;
+  Rng rng_;
+};
+
+}  // namespace slidb

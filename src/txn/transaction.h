@@ -1,0 +1,79 @@
+// Transactions: 2PL lifecycle state, the embedded LockClient, and a logical
+// undo list used to roll back storage effects on abort.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/lock/lock_client.h"
+
+namespace slidb {
+
+enum class TxnState : uint8_t {
+  kIdle = 0,
+  kActive,
+  kCommitted,
+  kAborted,
+};
+
+inline const char* TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kIdle: return "idle";
+    case TxnState::kActive: return "active";
+    case TxnState::kCommitted: return "committed";
+    case TxnState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+/// One transaction. Reused by its agent thread across executions (the
+/// LockClient inside must stay alive for the whole run — see LockClient's
+/// lifetime note).
+class Transaction {
+ public:
+  Transaction() = default;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  uint64_t id() const { return id_; }
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kActive; }
+
+  LockClient& lock_client() { return lock_client_; }
+
+  /// Register a compensation action, run in reverse order on abort.
+  /// Actions run while all locks are still held, so they may touch the same
+  /// rows the forward operation did.
+  void AddUndo(std::function<void()> fn) { undo_.push_back(std::move(fn)); }
+
+  size_t undo_size() const { return undo_.size(); }
+
+  /// Bytes of log payload this transaction appended (stats only).
+  void AddLogBytes(size_t n) { log_bytes_ += n; }
+  size_t log_bytes() const { return log_bytes_; }
+
+ private:
+  friend class TransactionManager;
+
+  void Reset(uint64_t id, uint32_t agent_id) {
+    id_ = id;
+    state_ = TxnState::kActive;
+    undo_.clear();
+    log_bytes_ = 0;
+    lock_client_.StartTxn(id, agent_id);
+  }
+
+  void RunUndo() {
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) (*it)();
+    undo_.clear();
+  }
+
+  uint64_t id_ = 0;
+  TxnState state_ = TxnState::kIdle;
+  LockClient lock_client_;
+  std::vector<std::function<void()>> undo_;
+  size_t log_bytes_ = 0;
+};
+
+}  // namespace slidb

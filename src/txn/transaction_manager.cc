@@ -1,0 +1,53 @@
+#include "src/txn/transaction_manager.h"
+
+#include "src/stats/counters.h"
+#include "src/stats/profiler.h"
+
+namespace slidb {
+
+Transaction* TransactionManager::Begin(AgentContext* agent) {
+  ScopedComponent comp(Component::kTxn);
+  Transaction& txn = agent->txn();
+  txn.Reset(next_txn_id_.fetch_add(1, std::memory_order_relaxed),
+            agent->id());
+  lock_manager_->AdoptInherited(&txn.lock_client(), &agent->sli());
+  return &txn;
+}
+
+Status TransactionManager::Commit(AgentContext* agent) {
+  ScopedComponent comp(Component::kTxn);
+  Transaction& txn = agent->txn();
+  if (!txn.active()) return Status::InvalidArgument("commit of inactive txn");
+
+  // Durability point: commit record must be on "disk" before locks release.
+  if (log_manager_ != nullptr) {
+    const Lsn lsn =
+        log_manager_->Append(txn.id(), LogRecordType::kCommit, nullptr, 0);
+    log_manager_->WaitDurable(lsn);
+  }
+
+  lock_manager_->ReleaseAll(&txn.lock_client(), &agent->sli(),
+                            /*allow_inherit=*/true);
+  txn.state_ = TxnState::kCommitted;
+  txn.undo_.clear();
+  CountEvent(Counter::kTxnCommits);
+  return Status::OK();
+}
+
+void TransactionManager::Abort(AgentContext* agent) {
+  ScopedComponent comp(Component::kTxn);
+  Transaction& txn = agent->txn();
+  if (!txn.active()) return;
+
+  // Undo runs under the transaction's locks, then the abort record is
+  // logged (no flush wait needed for aborts).
+  txn.RunUndo();
+  if (log_manager_ != nullptr) {
+    log_manager_->Append(txn.id(), LogRecordType::kAbort, nullptr, 0);
+  }
+  lock_manager_->ReleaseAll(&txn.lock_client(), &agent->sli(),
+                            /*allow_inherit=*/false);
+  txn.state_ = TxnState::kAborted;
+}
+
+}  // namespace slidb

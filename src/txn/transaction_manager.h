@@ -1,0 +1,47 @@
+// Transaction manager: begin / commit / abort orchestration over the lock
+// manager and the write-ahead log. Commit is where SLI inheritance happens;
+// begin is where the next transaction adopts the agent's inherited locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/lock/lock_manager.h"
+#include "src/log/log_manager.h"
+#include "src/txn/agent.h"
+#include "src/txn/transaction.h"
+#include "src/util/status.h"
+
+namespace slidb {
+
+class TransactionManager {
+ public:
+  /// Both dependencies outlive the manager; no ownership taken.
+  TransactionManager(LockManager* lock_manager, LogManager* log_manager)
+      : lock_manager_(lock_manager), log_manager_(log_manager) {}
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Start the agent's (reused) transaction and adopt inherited locks.
+  Transaction* Begin(AgentContext* agent);
+
+  /// Commit: append + flush the commit record (group commit), then release
+  /// locks with SLI inheritance enabled.
+  Status Commit(AgentContext* agent);
+
+  /// Abort: run undo actions (locks still held), log the abort, release
+  /// everything without inheritance.
+  void Abort(AgentContext* agent);
+
+  uint64_t ActiveTransactionCeiling() const {
+    return next_txn_id_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  LockManager* lock_manager_;
+  LogManager* log_manager_;
+  std::atomic<uint64_t> next_txn_id_{1};
+};
+
+}  // namespace slidb

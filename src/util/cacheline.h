@@ -1,0 +1,25 @@
+// Cache-line alignment helpers: false sharing between agent threads is one of
+// the effects the paper's contention analysis depends on, so shared counters
+// and latches are always line-aligned.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace slidb {
+
+/// Size all contended structures are padded to.
+inline constexpr size_t kCacheLineSize = 64;
+
+/// Wraps T so each instance occupies (at least) its own cache line.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace slidb

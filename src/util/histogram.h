@@ -1,0 +1,50 @@
+// Log-bucketed latency histogram, one per agent thread, merged at report time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace slidb {
+
+/// Latency histogram with power-of-two microsecond-scale buckets.
+/// Thread-compatible (one writer); Merge() combines per-thread instances.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 48;
+
+  Histogram() { Reset(); }
+
+  void Reset();
+
+  /// Record one sample (any unit; callers use nanoseconds).
+  void Add(uint64_t value);
+
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Approximate quantile (q in [0,1]) using bucket interpolation.
+  uint64_t Percentile(double q) const;
+
+  /// One-line summary: count / mean / p50 / p95 / p99 / max.
+  std::string ToString(double scale = 1.0, const char* unit = "ns") const;
+
+ private:
+  static size_t BucketFor(uint64_t value);
+
+  std::array<uint64_t, kNumBuckets> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace slidb

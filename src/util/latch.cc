@@ -1,0 +1,96 @@
+#include "src/util/latch.h"
+
+#include <sched.h>
+
+namespace slidb {
+
+namespace latch_internal {
+
+void OsYield() { sched_yield(); }
+
+}  // namespace latch_internal
+
+namespace {
+
+// Spin this many TTAS rounds before yielding to the OS. On oversubscribed
+// machines (more agent threads than cores — our stand-in for high context
+// counts) yielding lets the latch holder run; pure spinning would livelock.
+constexpr int kSpinsBeforeYield = 1024;
+
+}  // namespace
+
+void SpinLatch::SlowAcquire() {
+  int spins = 0;
+  for (;;) {
+    // Test phase: wait until the word looks free before attempting the
+    // exchange, keeping the cache line in shared state while we spin.
+    while (word_.load(std::memory_order_relaxed) != 0) {
+      latch_internal::CpuRelax();
+      if (++spins >= kSpinsBeforeYield) {
+        latch_internal::OsYield();
+        spins = 0;
+      }
+    }
+    if (TryAcquire()) return;
+  }
+}
+
+bool RwLatch::TryAcquireShared() {
+  int32_t v = state_.load(std::memory_order_relaxed);
+  while (v >= 0) {
+    if (state_.compare_exchange_weak(v, v + 1, std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RwLatch::TryAcquireExclusive() {
+  int32_t expected = 0;
+  return state_.compare_exchange_strong(expected, -1,
+                                        std::memory_order_acquire);
+}
+
+bool RwLatch::AcquireShared() {
+  if (TryAcquireShared()) return false;
+  const uint64_t start = RdCycles();
+  int spins = 0;
+  for (;;) {
+    while (state_.load(std::memory_order_relaxed) < 0) {
+      latch_internal::CpuRelax();
+      if (++spins >= 1024) {
+        latch_internal::OsYield();
+        spins = 0;
+      }
+    }
+    if (TryAcquireShared()) break;
+  }
+  const uint64_t end = RdCycles();
+  if (ThreadProfile* p = ThreadProfile::Current()) {
+    p->AttributeContention(start, end);
+  }
+  return true;
+}
+
+bool RwLatch::AcquireExclusive() {
+  if (TryAcquireExclusive()) return false;
+  const uint64_t start = RdCycles();
+  int spins = 0;
+  for (;;) {
+    while (state_.load(std::memory_order_relaxed) != 0) {
+      latch_internal::CpuRelax();
+      if (++spins >= 1024) {
+        latch_internal::OsYield();
+        spins = 0;
+      }
+    }
+    if (TryAcquireExclusive()) break;
+  }
+  const uint64_t end = RdCycles();
+  if (ThreadProfile* p = ThreadProfile::Current()) {
+    p->AttributeContention(start, end);
+  }
+  return true;
+}
+
+}  // namespace slidb

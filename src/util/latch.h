@@ -1,0 +1,124 @@
+// Instrumented latches. Latches (not database locks) protect slidb's critical
+// sections; per the paper (Section 2) the *contention* they cause is the
+// scalability effect under study, so every latch reports whether an
+// acquisition was contended and attributes the wasted cycles to the calling
+// thread's active component via the ThreadProfile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/stats/profiler.h"
+#include "src/util/cacheline.h"
+#include "src/util/time_util.h"
+
+namespace slidb {
+
+namespace latch_internal {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Yield to the OS scheduler; declared out-of-line to keep <sched.h> out of
+/// this header's includers.
+void OsYield();
+
+}  // namespace latch_internal
+
+/// Test-and-test-and-set spinlock with bounded exponential backoff and OS
+/// yield under heavy oversubscription. Acquire() reports contention so lock
+/// heads can feed their hot-lock trackers.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  /// Acquire the latch. Returns true iff the acquisition was contended
+  /// (at least one failed attempt). Contended cycles are attributed to the
+  /// calling thread's current component as contention.
+  bool Acquire() {
+    if (TryAcquire()) return false;
+    const uint64_t start = RdCycles();
+    SlowAcquire();
+    const uint64_t end = RdCycles();
+    if (ThreadProfile* p = ThreadProfile::Current()) {
+      p->AttributeContention(start, end);
+    }
+    return true;
+  }
+
+  bool TryAcquire() {
+    return !word_.exchange(1, std::memory_order_acquire);
+  }
+
+  void Release() { word_.store(0, std::memory_order_release); }
+
+  bool IsHeld() const { return word_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  void SlowAcquire();
+
+  std::atomic<uint32_t> word_{0};
+};
+
+/// RAII guard for SpinLatch. Exposes whether the acquisition was contended.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(&latch) {
+    contended_ = latch_->Acquire();
+  }
+  ~SpinLatchGuard() { Unlock(); }
+
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+  bool contended() const { return contended_; }
+
+  /// Early release (idempotent).
+  void Unlock() {
+    if (latch_ != nullptr) {
+      latch_->Release();
+      latch_ = nullptr;
+    }
+  }
+
+ private:
+  SpinLatch* latch_;
+  bool contended_;
+};
+
+/// Reader-writer spin latch. state > 0: reader count; state == -1: writer.
+/// No writer preference (documented trade-off; B-tree traffic in slidb is
+/// read-mostly and short).
+class RwLatch {
+ public:
+  RwLatch() = default;
+  RwLatch(const RwLatch&) = delete;
+  RwLatch& operator=(const RwLatch&) = delete;
+
+  /// Returns true iff contended.
+  bool AcquireShared();
+  bool AcquireExclusive();
+  bool TryAcquireShared();
+  bool TryAcquireExclusive();
+  void ReleaseShared() { state_.fetch_sub(1, std::memory_order_release); }
+  void ReleaseExclusive() { state_.store(0, std::memory_order_release); }
+
+  /// Upgrade shared→exclusive; fails (returns false) if other readers exist.
+  bool TryUpgrade() {
+    int32_t expected = 1;
+    return state_.compare_exchange_strong(expected, -1,
+                                          std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<int32_t> state_{0};
+};
+
+}  // namespace slidb

@@ -1,0 +1,39 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace slidb {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zetan_ = Zeta(n, theta);
+  zeta2_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  const uint64_t v = 1 + static_cast<uint64_t>(
+                             static_cast<double>(n_) *
+                             std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v > n_ ? n_ : v;
+}
+
+}  // namespace slidb

@@ -1,0 +1,108 @@
+// Fast per-thread random number generation plus the distribution helpers the
+// TPC and TM1 workload generators need (uniform, NURand, zipf, strings).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace slidb {
+
+/// xoshiro256** — fast, high-quality, and deterministic given a seed, so
+/// workload runs are reproducible. Not thread-safe; use one per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes.
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    return lo + Next() % (hi - lo + 1);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive, as int64.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// True with probability p (0..1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// TPC-C NURand(A, x, y): non-uniform random over [x, y].
+  uint64_t NuRand(uint64_t a, uint64_t x, uint64_t y, uint64_t c = 0) {
+    return (((Uniform(0, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random alphanumeric string with length in [min_len, max_len].
+  std::string AlphaString(size_t min_len, size_t max_len) {
+    static constexpr char kChars[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    const size_t len = min_len + Next() % (max_len - min_len + 1);
+    std::string out(len, '\0');
+    for (auto& ch : out) ch = kChars[Next() % (sizeof(kChars) - 1)];
+    return out;
+  }
+
+  /// Random numeric string with length in [min_len, max_len].
+  std::string DigitString(size_t min_len, size_t max_len) {
+    const size_t len = min_len + Next() % (max_len - min_len + 1);
+    std::string out(len, '\0');
+    for (auto& ch : out) ch = static_cast<char>('0' + Next() % 10);
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed generator over [1, n] with exponent theta, using the
+/// Gray et al. rejection-free method. Used by synthetic hot-spot workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace slidb

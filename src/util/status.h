@@ -1,0 +1,127 @@
+// Status: lightweight error propagation used across slidb (no exceptions on
+// hot paths, in the style of the RocksDB / Google C++ guides).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace slidb {
+
+/// Result of a slidb operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound,        ///< key / row / lock absent
+    kKeyExists,       ///< unique-index violation
+    kDeadlock,        ///< transaction chosen as deadlock victim
+    kAborted,         ///< user- or logic-initiated rollback
+    kTimedOut,        ///< lock or latch wait exceeded its budget
+    kBusy,            ///< resource temporarily unavailable
+    kInvalidArgument, ///< caller error
+    kCorruption,      ///< internal invariant violated on disk/in memory
+    kNotSupported,    ///< feature intentionally unimplemented
+    kIoError,         ///< simulated or real I/O failure
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status KeyExists(std::string msg = "") {
+    return Status(Code::kKeyExists, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status IoError(std::string msg = "") {
+    return Status(Code::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsKeyExists() const { return code_ == Code::kKeyExists; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+
+  /// True for any status that must abort the enclosing transaction
+  /// (deadlock victim, explicit abort, lock timeout).
+  bool ForcesAbort() const {
+    return code_ == Code::kDeadlock || code_ == Code::kAborted ||
+           code_ == Code::kTimedOut;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = CodeName(code_);
+    if (!msg_.empty()) {
+      out += ": ";
+      out += msg_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static const char* CodeName(Code c) {
+    switch (c) {
+      case Code::kOk: return "OK";
+      case Code::kNotFound: return "NotFound";
+      case Code::kKeyExists: return "KeyExists";
+      case Code::kDeadlock: return "Deadlock";
+      case Code::kAborted: return "Aborted";
+      case Code::kTimedOut: return "TimedOut";
+      case Code::kBusy: return "Busy";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kCorruption: return "Corruption";
+      case Code::kNotSupported: return "NotSupported";
+      case Code::kIoError: return "IoError";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Early-return helper: propagate a non-OK status to the caller.
+#define SLIDB_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::slidb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace slidb

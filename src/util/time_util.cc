@@ -1,0 +1,47 @@
+#include "src/util/time_util.h"
+
+#include <atomic>
+
+namespace slidb {
+
+namespace {
+
+double CalibrateCyclesPerNano() {
+  // Sample rdtsc against the steady clock over a short window. 2 ms is long
+  // enough for < 1% error and short enough to not slow process start-up.
+  const uint64_t start_ns = NowNanos();
+  const uint64_t start_cy = RdCycles();
+  uint64_t end_ns = start_ns;
+  while (end_ns - start_ns < 2'000'000) {
+    end_ns = NowNanos();
+  }
+  const uint64_t end_cy = RdCycles();
+  const double ns = static_cast<double>(end_ns - start_ns);
+  const double cy = static_cast<double>(end_cy - start_cy);
+  double rate = cy / ns;
+  if (rate <= 0.0) rate = 1.0;
+  return rate;
+}
+
+}  // namespace
+
+double CyclesPerNano() {
+  static const double rate = CalibrateCyclesPerNano();
+  return rate;
+}
+
+void SpinForNanos(uint64_t nanos) {
+  const uint64_t deadline = NowNanos() + nanos;
+  while (NowNanos() < deadline) {
+    // Keep the pipeline busy without hammering the clock too hard.
+    for (int i = 0; i < 32; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+  }
+}
+
+}  // namespace slidb

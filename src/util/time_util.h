@@ -1,0 +1,48 @@
+// Cycle and wall-clock time sources. The profiler accounts *work*, not time
+// (paper Section 5), so it needs a cheap per-thread cycle counter.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace slidb {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic microseconds since an arbitrary epoch.
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+
+/// Cheap per-thread cycle counter used for work/contention attribution.
+/// On x86 this is rdtsc (constant-rate on all modern parts); elsewhere it
+/// falls back to the monotonic clock in nanoseconds.
+inline uint64_t RdCycles() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return NowNanos();
+#endif
+}
+
+/// Measured ratio of RdCycles ticks per nanosecond (calibrated once, lazily).
+double CyclesPerNano();
+
+/// Convert a RdCycles delta to nanoseconds using the calibrated rate.
+inline double CyclesToNanos(uint64_t cycles) {
+  return static_cast<double>(cycles) / CyclesPerNano();
+}
+
+/// Busy-spin for roughly `nanos` wall-clock nanoseconds (used by tests and
+/// the synthetic workloads; never sleeps).
+void SpinForNanos(uint64_t nanos);
+
+}  // namespace slidb

@@ -1,0 +1,117 @@
+#include "src/workload/driver.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/util/time_util.h"
+
+namespace slidb {
+
+namespace {
+
+struct AgentSlot {
+  std::unique_ptr<AgentContext> agent;
+  // Snapshots taken by the agent thread itself at phase transitions, so no
+  // cross-thread races on the profile internals.
+  ProfileSnapshot profile_begin, profile_end;
+  CounterSet counters_begin, counters_end;
+  Histogram latency;
+  bool saw_begin = false;
+  bool saw_end = false;
+};
+
+}  // namespace
+
+DriverResult RunWorkload(Database& db, Workload& workload,
+                         const DriverOptions& options) {
+  // Phases: 0 = warmup, 1 = measuring, 2 = drain/stop.
+  std::atomic<int> phase{0};
+  const int n = options.num_agents < 1 ? 1 : options.num_agents;
+
+  std::vector<AgentSlot> slots(n);
+  for (int i = 0; i < n; ++i) {
+    slots[i].agent = db.CreateAgent(options.seed + i * 7919);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      AgentSlot& slot = slots[i];
+      AgentContext& agent = *slot.agent;
+      ScopedThreadProfile profile_scope(&agent.profile());
+      ScopedCounterSet counter_scope(&agent.counters());
+
+      int local_phase = 0;
+      while (true) {
+        const int p = phase.load(std::memory_order_acquire);
+        if (p != local_phase) {
+          agent.profile().Flush();
+          if (p >= 1 && !slot.saw_begin) {
+            slot.profile_begin = agent.profile().Snapshot();
+            slot.counters_begin = agent.counters();
+            slot.saw_begin = true;
+          }
+          if (p >= 2) {
+            slot.profile_end = agent.profile().Snapshot();
+            slot.counters_end = agent.counters();
+            slot.saw_end = true;
+            break;
+          }
+          local_phase = p;
+        }
+        const uint64_t t0 = NowNanos();
+        const Status st = workload.RunOne(db, agent);
+        if (st.IsAborted()) {
+          CountEvent(Counter::kTxnUserAborts);
+        } else if (st.IsDeadlock() || st.IsTimedOut()) {
+          CountEvent(Counter::kTxnDeadlockAborts);
+        }
+        if (local_phase == 1) slot.latency.Add(NowNanos() - t0);
+      }
+    });
+  }
+
+  // Warm-up, then measure, then stop.
+  const auto sleep_s = [](double s) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(s * 1e6)));
+  };
+  sleep_s(options.warmup_s);
+  const uint64_t t_begin = NowNanos();
+  phase.store(1, std::memory_order_release);
+  sleep_s(options.duration_s);
+  phase.store(2, std::memory_order_release);
+  const uint64_t t_end = NowNanos();
+  for (auto& t : threads) t.join();
+
+  DriverResult result;
+  result.num_agents = n;
+  // The measurement window is [phase1, phase2] as seen by the coordinator;
+  // agents snapshot within a transaction of those instants.
+  result.wall_s = static_cast<double>(t_end - t_begin) / 1e9;
+
+  for (AgentSlot& slot : slots) {
+    if (!slot.saw_begin || !slot.saw_end) continue;
+    result.profile += slot.profile_end - slot.profile_begin;
+    result.counters.Merge(slot.counters_end.Delta(slot.counters_begin));
+    result.latency_ns.Merge(slot.latency);
+  }
+  result.commits = result.counters.Get(Counter::kTxnCommits);
+  result.user_aborts = result.counters.Get(Counter::kTxnUserAborts);
+  result.deadlock_aborts = result.counters.Get(Counter::kTxnDeadlockAborts);
+  result.tps = result.wall_s > 0
+                   ? static_cast<double>(result.commits) / result.wall_s
+                   : 0;
+
+  const double cpu_seconds =
+      static_cast<double>(result.profile.TotalCpu()) / CyclesPerNano() / 1e9;
+  const double hw = static_cast<double>(std::thread::hardware_concurrency());
+  const double util = cpu_seconds / (result.wall_s * (hw > 0 ? hw : 1));
+  result.cpu_utilization = util > 1.0 ? 1.0 : util;
+  return result;
+}
+
+}  // namespace slidb

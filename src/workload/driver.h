@@ -1,0 +1,53 @@
+// Benchmark driver: runs a workload on N agent threads with a warm-up and a
+// timed measurement window, reproducing the paper's methodology (§5.2):
+// spawn clients, let them start working, measure throughput over an
+// interval, then stop them. "Hardware contexts utilized" maps to the agent
+// thread count on this substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "src/stats/counters.h"
+#include "src/stats/profiler.h"
+#include "src/util/histogram.h"
+#include "src/workload/workload.h"
+
+namespace slidb {
+
+struct DriverOptions {
+  int num_agents = 4;
+  double duration_s = 1.0;  ///< measurement window
+  double warmup_s = 0.2;    ///< excluded from results
+  uint64_t seed = 42;
+};
+
+struct DriverResult {
+  double tps = 0;             ///< committed transactions / second
+  double wall_s = 0;
+  int num_agents = 0;
+  uint64_t commits = 0;
+  uint64_t user_aborts = 0;   ///< benchmark-specified failures
+  uint64_t deadlock_aborts = 0;
+  /// Work/contention breakdown over the measurement window only.
+  ProfileSnapshot profile;
+  /// Counter deltas over the measurement window only.
+  CounterSet counters;
+  Histogram latency_ns;
+  /// CPU seconds consumed (work + contention) / (wall * hardware threads),
+  /// capped at 1. With thread oversubscription this saturates — matching
+  /// the paper's "fully loaded" operating points.
+  double cpu_utilization = 0;
+
+  double UserAbortRate() const {
+    const double total = static_cast<double>(commits + user_aborts);
+    return total == 0 ? 0 : static_cast<double>(user_aborts) / total;
+  }
+};
+
+/// Run `workload` against `db` (already loaded) and measure.
+/// SLI on/off is controlled by the database's lock-manager options
+/// (Database::SetSliEnabled) before calling.
+DriverResult RunWorkload(Database& db, Workload& workload,
+                         const DriverOptions& options);
+
+}  // namespace slidb

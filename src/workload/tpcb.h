@@ -1,0 +1,73 @@
+// TPC-B: the classic bank debit/credit stress test — one transaction type
+// touching all four tables (paper §5.1). The branch row update is the
+// natural contention point.
+#pragma once
+
+#include <cstdint>
+
+#include "src/workload/workload.h"
+
+namespace slidb {
+
+struct TpcbOptions {
+  uint32_t branches = 16;
+  uint32_t tellers_per_branch = 10;
+  uint32_t accounts_per_branch = 10'000;
+};
+
+namespace tpcb {
+
+struct Branch {
+  uint32_t b_id;
+  int64_t balance;
+  char filler[44];
+};
+
+struct Teller {
+  uint32_t t_id;
+  uint32_t b_id;
+  int64_t balance;
+  char filler[40];
+};
+
+struct Account {
+  uint64_t a_id;
+  uint32_t b_id;
+  int64_t balance;
+  char filler[40];
+};
+
+struct History {
+  uint32_t t_id;
+  uint32_t b_id;
+  uint64_t a_id;
+  int64_t delta;
+  uint64_t timestamp;
+  char filler[20];
+};
+
+}  // namespace tpcb
+
+class TpcbWorkload : public Workload {
+ public:
+  explicit TpcbWorkload(TpcbOptions options = {}) : options_(options) {}
+
+  const char* name() const override { return "tpcb"; }
+  void Load(Database& db) override;
+  Status RunOne(Database& db, AgentContext& agent) override;
+
+  const TpcbOptions& options() const { return options_; }
+
+  /// Consistency check (test support): sum(account) == sum(teller) ==
+  /// sum(branch) deltas from initial state.
+  bool CheckBalanceInvariant(Database& db, AgentContext& agent,
+                             int64_t* account_total, int64_t* teller_total,
+                             int64_t* branch_total);
+
+ private:
+  TpcbOptions options_;
+  TableId branch_table_{}, teller_table_{}, account_table_{}, history_table_{};
+  IndexId branch_pk_{}, teller_pk_{}, account_pk_{};
+};
+
+}  // namespace slidb

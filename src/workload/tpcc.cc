@@ -1,0 +1,678 @@
+#include "src/workload/tpcc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/util/time_util.h"
+
+namespace slidb {
+
+namespace {
+
+using tpcc::Customer;
+using tpcc::District;
+using tpcc::History;
+using tpcc::Item;
+using tpcc::NewOrderRow;
+using tpcc::Order;
+using tpcc::OrderLine;
+using tpcc::Stock;
+using tpcc::Warehouse;
+
+template <typename T>
+std::span<const uint8_t> AsBytes(const T& rec) {
+  return {reinterpret_cast<const uint8_t*>(&rec), sizeof(T)};
+}
+
+#define TPCC_TRY(expr)            \
+  do {                            \
+    ::slidb::Status _st = (expr); \
+    if (!_st.ok()) {              \
+      db.Abort(&agent);           \
+      return _st;                 \
+    }                             \
+  } while (0)
+
+}  // namespace
+
+void TpccLastName(uint32_t num, char out[18]) {
+  static const char* kSyllables[10] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                       "PRES",  "ESE",   "ANTI", "CALLY",
+                                       "ATION", "EING"};
+  out[0] = '\0';
+  std::snprintf(out, 18, "%s%s%s", kSyllables[(num / 100) % 10],
+                kSyllables[(num / 10) % 10], kSyllables[num % 10]);
+}
+
+uint32_t TpccNameHash(const char* name) {
+  uint32_t h = 2166136261u;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint8_t>(*p)) * 16777619u;
+  }
+  return h & 0xffff;
+}
+
+const char* TpccWorkload::name() const {
+  switch (mix_) {
+    case Mix::kFull: return "tpcc-mix";
+    case Mix::kSmall: return "tpcc-small-mix";
+    case Mix::kSingle:
+      switch (single_type_) {
+        case TpccTxnType::kNewOrder: return "tpcc-neworder";
+        case TpccTxnType::kPayment: return "tpcc-payment";
+        case TpccTxnType::kOrderStatus: return "tpcc-orderstatus";
+        case TpccTxnType::kDelivery: return "tpcc-delivery";
+        case TpccTxnType::kStockLevel: return "tpcc-stocklevel";
+      }
+  }
+  return "tpcc";
+}
+
+uint32_t TpccWorkload::PickCustomerId(Rng& rng) const {
+  return static_cast<uint32_t>(
+      rng.NuRand(1023, 1, options_.customers_per_district));
+}
+
+uint32_t TpccWorkload::PickItemId(Rng& rng) const {
+  return static_cast<uint32_t>(rng.NuRand(8191, 1, options_.items));
+}
+
+void TpccWorkload::Load(Database& db) {
+  warehouse_t_ = db.CreateTable("warehouse");
+  district_t_ = db.CreateTable("district");
+  customer_t_ = db.CreateTable("customer");
+  history_t_ = db.CreateTable("history");
+  neworder_t_ = db.CreateTable("new_order");
+  order_t_ = db.CreateTable("orders");
+  orderline_t_ = db.CreateTable("order_line");
+  item_t_ = db.CreateTable("item");
+  stock_t_ = db.CreateTable("stock");
+
+  warehouse_pk_ = db.CreateIndex(warehouse_t_, "w_pk", IndexKind::kHash, true);
+  district_pk_ = db.CreateIndex(district_t_, "d_pk", IndexKind::kHash, true);
+  customer_pk_ = db.CreateIndex(customer_t_, "c_pk", IndexKind::kHash, true);
+  customer_name_ =
+      db.CreateIndex(customer_t_, "c_name", IndexKind::kBTree, false);
+  neworder_pk_ =
+      db.CreateIndex(neworder_t_, "no_pk", IndexKind::kBTree, true);
+  order_pk_ = db.CreateIndex(order_t_, "o_pk", IndexKind::kHash, true);
+  cust_order_ =
+      db.CreateIndex(order_t_, "o_cust", IndexKind::kBTree, false);
+  orderline_idx_ =
+      db.CreateIndex(orderline_t_, "ol_order", IndexKind::kBTree, false);
+  item_pk_ = db.CreateIndex(item_t_, "i_pk", IndexKind::kHash, true);
+  stock_pk_ = db.CreateIndex(stock_t_, "s_pk", IndexKind::kHash, true);
+
+  auto loader = db.CreateAgent(/*seed=*/13);
+  Rng& rng = loader->rng();
+
+  // Items.
+  constexpr uint32_t kBatch = 1000;
+  for (uint32_t i0 = 1; i0 <= options_.items; i0 += kBatch) {
+    db.Begin(loader.get());
+    const uint32_t hi = std::min(i0 + kBatch - 1, options_.items);
+    for (uint32_t i = i0; i <= hi; ++i) {
+      Item item{};
+      item.i_id = i;
+      item.price = static_cast<int64_t>(rng.Uniform(100, 10000));
+      std::snprintf(item.name, sizeof(item.name), "item-%u", i);
+      Rid rid;
+      db.Insert(loader.get(), item_t_, AsBytes(item), &rid);
+      db.IndexInsert(loader.get(), item_pk_, i, rid.ToU64());
+    }
+    db.Commit(loader.get());
+  }
+
+  for (uint32_t w = 1; w <= options_.warehouses; ++w) {
+    db.Begin(loader.get());
+    Warehouse wh{};
+    wh.w_id = w;
+    wh.tax = static_cast<float>(rng.Uniform(0, 2000)) / 10000.0f;
+    std::snprintf(wh.name, sizeof(wh.name), "wh-%u", w);
+    Rid w_rid;
+    db.Insert(loader.get(), warehouse_t_, AsBytes(wh), &w_rid);
+    db.IndexInsert(loader.get(), warehouse_pk_, w, w_rid.ToU64());
+    db.Commit(loader.get());
+
+    // Stock for all items.
+    for (uint32_t i0 = 1; i0 <= options_.items; i0 += kBatch) {
+      db.Begin(loader.get());
+      const uint32_t hi = std::min(i0 + kBatch - 1, options_.items);
+      for (uint32_t i = i0; i <= hi; ++i) {
+        Stock s{};
+        s.w_id = w;
+        s.i_id = i;
+        s.quantity = static_cast<uint32_t>(rng.Uniform(10, 100));
+        Rid rid;
+        db.Insert(loader.get(), stock_t_, AsBytes(s), &rid);
+        db.IndexInsert(loader.get(), stock_pk_, StockKey(w, i), rid.ToU64());
+      }
+      db.Commit(loader.get());
+    }
+
+    for (uint32_t d = 1; d <= options_.districts_per_warehouse; ++d) {
+      db.Begin(loader.get());
+      District dist{};
+      dist.w_id = w;
+      dist.d_id = d;
+      dist.next_o_id = options_.initial_orders_per_district + 1;
+      dist.tax = static_cast<float>(rng.Uniform(0, 2000)) / 10000.0f;
+      Rid d_rid;
+      db.Insert(loader.get(), district_t_, AsBytes(dist), &d_rid);
+      db.IndexInsert(loader.get(), district_pk_, DistrictKey(w, d),
+                     d_rid.ToU64());
+      db.Commit(loader.get());
+
+      // Customers.
+      for (uint32_t c0 = 1; c0 <= options_.customers_per_district;
+           c0 += kBatch) {
+        db.Begin(loader.get());
+        const uint32_t hi =
+            std::min(c0 + kBatch - 1, options_.customers_per_district);
+        for (uint32_t c = c0; c <= hi; ++c) {
+          Customer cust{};
+          cust.w_id = w;
+          cust.d_id = d;
+          cust.c_id = c;
+          cust.balance = -1000;  // spec: -10.00
+          // First 1000 customers get spec syllable names (uniform NURand
+          // coverage); the rest are random.
+          TpccLastName(c <= 1000 ? c - 1
+                                 : static_cast<uint32_t>(
+                                       rng.NuRand(255, 0, 999)),
+                       cust.last);
+          std::snprintf(cust.first, sizeof(cust.first), "fn-%u", c);
+          cust.credit[0] = rng.Bernoulli(0.10) ? 'B' : 'G';
+          cust.credit[1] = 'C';
+          Rid rid;
+          db.Insert(loader.get(), customer_t_, AsBytes(cust), &rid);
+          db.IndexInsert(loader.get(), customer_pk_, CustomerKey(w, d, c),
+                         rid.ToU64());
+          db.IndexInsert(loader.get(), customer_name_,
+                         CustomerNameKey(w, d, TpccNameHash(cust.last)),
+                         rid.ToU64());
+        }
+        db.Commit(loader.get());
+      }
+
+      // Initial orders; the newest 30% stay undelivered (in NEW-ORDER).
+      db.Begin(loader.get());
+      const uint32_t orders = options_.initial_orders_per_district;
+      const uint32_t undelivered_from = orders - orders * 3 / 10 + 1;
+      for (uint32_t o = 1; o <= orders; ++o) {
+        Order order{};
+        order.w_id = w;
+        order.d_id = d;
+        order.o_id = o;
+        order.c_id = (o % options_.customers_per_district) + 1;
+        order.ol_cnt = static_cast<uint32_t>(rng.Uniform(5, 15));
+        order.all_local = 1;
+        order.entry_d = NowMicros();
+        order.carrier_id =
+            o < undelivered_from ? static_cast<uint32_t>(rng.Uniform(1, 10))
+                                 : 0;
+        Rid o_rid;
+        db.Insert(loader.get(), order_t_, AsBytes(order), &o_rid);
+        db.IndexInsert(loader.get(), order_pk_, OrderKey(w, d, o),
+                       o_rid.ToU64());
+        db.IndexInsert(loader.get(), cust_order_,
+                       CustOrderKey(w, d, order.c_id, o), o_rid.ToU64());
+
+        for (uint32_t l = 1; l <= order.ol_cnt; ++l) {
+          OrderLine ol{};
+          ol.w_id = w;
+          ol.d_id = d;
+          ol.o_id = o;
+          ol.ol_number = l;
+          ol.i_id = static_cast<uint32_t>(rng.Uniform(1, options_.items));
+          ol.supply_w_id = w;
+          ol.quantity = 5;
+          ol.amount = order.carrier_id == 0
+                          ? static_cast<int64_t>(rng.Uniform(1, 999999))
+                          : 0;
+          ol.delivery_d = order.carrier_id == 0 ? 0 : order.entry_d;
+          Rid ol_rid;
+          db.Insert(loader.get(), orderline_t_, AsBytes(ol), &ol_rid);
+          db.IndexInsert(loader.get(), orderline_idx_, OrderKey(w, d, o),
+                         ol_rid.ToU64());
+        }
+        if (order.carrier_id == 0) {
+          NewOrderRow no{w, d, o};
+          Rid no_rid;
+          db.Insert(loader.get(), neworder_t_, AsBytes(no), &no_rid);
+          db.IndexInsert(loader.get(), neworder_pk_, OrderKey(w, d, o),
+                         no_rid.ToU64());
+        }
+      }
+      db.Commit(loader.get());
+    }
+  }
+}
+
+TpccTxnType TpccWorkload::PickType(Rng& rng) const {
+  if (mix_ == Mix::kSingle) return single_type_;
+  const uint64_t r = rng.Uniform(0, 999);
+  if (mix_ == Mix::kSmall) {
+    // Paper §5.1: Payment / New Order / Order Status at 46.7/48.9/4.3.
+    if (r < 467) return TpccTxnType::kPayment;
+    if (r < 956) return TpccTxnType::kNewOrder;
+    return TpccTxnType::kOrderStatus;
+  }
+  // Full mix: 45/43/4/4/4.
+  if (r < 450) return TpccTxnType::kNewOrder;
+  if (r < 880) return TpccTxnType::kPayment;
+  if (r < 920) return TpccTxnType::kOrderStatus;
+  if (r < 960) return TpccTxnType::kDelivery;
+  return TpccTxnType::kStockLevel;
+}
+
+Status TpccWorkload::RunOne(Database& db, AgentContext& agent) {
+  switch (PickType(agent.rng())) {
+    case TpccTxnType::kNewOrder: return NewOrder(db, agent);
+    case TpccTxnType::kPayment: return Payment(db, agent);
+    case TpccTxnType::kOrderStatus: return OrderStatus(db, agent);
+    case TpccTxnType::kDelivery: return Delivery(db, agent);
+    case TpccTxnType::kStockLevel: return StockLevel(db, agent);
+  }
+  return Status::InvalidArgument("bad txn type");
+}
+
+Status TpccWorkload::ResolveCustomer(Database& db, AgentContext& agent,
+                                     uint32_t w, uint32_t d,
+                                     uint64_t* rid_out, Customer* cust_out) {
+  Rng& rng = agent.rng();
+  if (rng.Bernoulli(0.60)) {
+    // By last name: pick a syllable name, collect matches, take the middle
+    // one ordered by first name (spec 2.5.2.2).
+    char last[18];
+    TpccLastName(static_cast<uint32_t>(rng.NuRand(255, 0, 999)), last);
+    std::vector<uint64_t> rids;
+    db.IndexLookupAll(customer_name_,
+                      CustomerNameKey(w, d, TpccNameHash(last)), &rids);
+    std::vector<std::pair<std::string, uint64_t>> matches;
+    Customer cust;
+    for (uint64_t rid : rids) {
+      SLIDB_RETURN_NOT_OK(
+          db.Read(&agent, customer_t_, Rid::FromU64(rid), &cust,
+                  sizeof(cust)));
+      if (std::strncmp(cust.last, last, sizeof(cust.last)) == 0) {
+        matches.emplace_back(cust.first, rid);
+      }
+    }
+    if (matches.empty()) {
+      // Hash bucket exists but no exact-name match: fall back to by-id.
+      const uint32_t c = PickCustomerId(rng);
+      SLIDB_RETURN_NOT_OK(
+          db.IndexLookup(customer_pk_, CustomerKey(w, d, c), rid_out));
+    } else {
+      std::sort(matches.begin(), matches.end());
+      *rid_out = matches[matches.size() / 2].second;
+    }
+  } else {
+    const uint32_t c = PickCustomerId(rng);
+    SLIDB_RETURN_NOT_OK(
+        db.IndexLookup(customer_pk_, CustomerKey(w, d, c), rid_out));
+  }
+  return db.Read(&agent, customer_t_, Rid::FromU64(*rid_out), cust_out,
+                 sizeof(*cust_out));
+}
+
+Status TpccWorkload::NewOrder(Database& db, AgentContext& agent) {
+  Rng& rng = agent.rng();
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(1, options_.warehouses));
+  const uint32_t d =
+      static_cast<uint32_t>(rng.Uniform(1, options_.districts_per_warehouse));
+  const uint32_t c = PickCustomerId(rng);
+  const uint32_t ol_cnt = static_cast<uint32_t>(rng.Uniform(5, 15));
+  const bool rollback = rng.Bernoulli(0.01);  // spec: 1% invalid item
+
+  db.Begin(&agent);
+
+  // Warehouse tax (S), district X (allocate o_id), customer (S).
+  uint64_t w_rid;
+  TPCC_TRY(db.IndexLookup(warehouse_pk_, w, &w_rid));
+  Warehouse wh;
+  TPCC_TRY(db.Read(&agent, warehouse_t_, Rid::FromU64(w_rid), &wh,
+                   sizeof(wh)));
+
+  uint64_t d_rid;
+  TPCC_TRY(db.IndexLookup(district_pk_, DistrictKey(w, d), &d_rid));
+  District dist;
+  TPCC_TRY(db.LockRowExclusive(&agent, district_t_, Rid::FromU64(d_rid)));
+  TPCC_TRY(db.Read(&agent, district_t_, Rid::FromU64(d_rid), &dist,
+                   sizeof(dist)));
+  const uint32_t o_id = dist.next_o_id;
+  dist.next_o_id++;
+  TPCC_TRY(db.Update(&agent, district_t_, Rid::FromU64(d_rid), AsBytes(dist)));
+
+  uint64_t c_rid;
+  TPCC_TRY(db.IndexLookup(customer_pk_, CustomerKey(w, d, c), &c_rid));
+  Customer cust;
+  TPCC_TRY(db.Read(&agent, customer_t_, Rid::FromU64(c_rid), &cust,
+                   sizeof(cust)));
+
+  // Order + NEW-ORDER rows.
+  Order order{};
+  order.w_id = w;
+  order.d_id = d;
+  order.o_id = o_id;
+  order.c_id = c;
+  order.ol_cnt = ol_cnt;
+  order.all_local = 1;
+  order.entry_d = NowMicros();
+  Rid o_rid;
+  TPCC_TRY(db.Insert(&agent, order_t_, AsBytes(order), &o_rid));
+  TPCC_TRY(db.IndexInsert(&agent, order_pk_, OrderKey(w, d, o_id),
+                          o_rid.ToU64()));
+  TPCC_TRY(db.IndexInsert(&agent, cust_order_, CustOrderKey(w, d, c, o_id),
+                          o_rid.ToU64()));
+  NewOrderRow no{w, d, o_id};
+  Rid no_rid;
+  TPCC_TRY(db.Insert(&agent, neworder_t_, AsBytes(no), &no_rid));
+  TPCC_TRY(db.IndexInsert(&agent, neworder_pk_, OrderKey(w, d, o_id),
+                          no_rid.ToU64()));
+
+  // Lines.
+  for (uint32_t l = 1; l <= ol_cnt; ++l) {
+    if (rollback && l == ol_cnt) {
+      // Invalid item: the spec demands a full rollback of the order.
+      db.Abort(&agent);
+      return Status::Aborted("invalid item");
+    }
+    const uint32_t i_id = PickItemId(rng);
+    uint32_t supply_w = w;
+    if (options_.warehouses > 1 && rng.Bernoulli(0.01)) {
+      do {
+        supply_w =
+            static_cast<uint32_t>(rng.Uniform(1, options_.warehouses));
+      } while (supply_w == w);
+      order.all_local = 0;
+    }
+
+    uint64_t i_rid;
+    TPCC_TRY(db.IndexLookup(item_pk_, i_id, &i_rid));
+    Item item;
+    TPCC_TRY(
+        db.Read(&agent, item_t_, Rid::FromU64(i_rid), &item, sizeof(item)));
+
+    uint64_t s_rid;
+    TPCC_TRY(db.IndexLookup(stock_pk_, StockKey(supply_w, i_id), &s_rid));
+    Stock stock;
+    TPCC_TRY(db.LockRowExclusive(&agent, stock_t_, Rid::FromU64(s_rid)));
+    TPCC_TRY(db.Read(&agent, stock_t_, Rid::FromU64(s_rid), &stock,
+                     sizeof(stock)));
+    const uint32_t qty = static_cast<uint32_t>(rng.Uniform(1, 10));
+    stock.quantity =
+        stock.quantity >= qty + 10 ? stock.quantity - qty
+                                   : stock.quantity + 91 - qty;
+    stock.ytd += qty;
+    stock.order_cnt++;
+    if (supply_w != w) stock.remote_cnt++;
+    TPCC_TRY(
+        db.Update(&agent, stock_t_, Rid::FromU64(s_rid), AsBytes(stock)));
+
+    OrderLine ol{};
+    ol.w_id = w;
+    ol.d_id = d;
+    ol.o_id = o_id;
+    ol.ol_number = l;
+    ol.i_id = i_id;
+    ol.supply_w_id = supply_w;
+    ol.quantity = qty;
+    ol.amount = static_cast<int64_t>(qty) * item.price;
+    Rid ol_rid;
+    TPCC_TRY(db.Insert(&agent, orderline_t_, AsBytes(ol), &ol_rid));
+    TPCC_TRY(db.IndexInsert(&agent, orderline_idx_, OrderKey(w, d, o_id),
+                            ol_rid.ToU64()));
+  }
+  return db.Commit(&agent);
+}
+
+Status TpccWorkload::Payment(Database& db, AgentContext& agent) {
+  Rng& rng = agent.rng();
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(1, options_.warehouses));
+  const uint32_t d =
+      static_cast<uint32_t>(rng.Uniform(1, options_.districts_per_warehouse));
+  // 15%: customer of a remote warehouse/district.
+  uint32_t c_w = w, c_d = d;
+  if (options_.warehouses > 1 && rng.Bernoulli(0.15)) {
+    do {
+      c_w = static_cast<uint32_t>(rng.Uniform(1, options_.warehouses));
+    } while (c_w == w);
+    c_d =
+        static_cast<uint32_t>(rng.Uniform(1, options_.districts_per_warehouse));
+  }
+  const int64_t amount = rng.UniformInt(100, 500000);  // $1.00 .. $5000.00
+
+  db.Begin(&agent);
+
+  uint64_t w_rid;
+  TPCC_TRY(db.IndexLookup(warehouse_pk_, w, &w_rid));
+  Warehouse wh;
+  TPCC_TRY(db.LockRowExclusive(&agent, warehouse_t_, Rid::FromU64(w_rid)));
+  TPCC_TRY(
+      db.Read(&agent, warehouse_t_, Rid::FromU64(w_rid), &wh, sizeof(wh)));
+  wh.ytd += amount;
+  TPCC_TRY(
+      db.Update(&agent, warehouse_t_, Rid::FromU64(w_rid), AsBytes(wh)));
+
+  uint64_t d_rid;
+  TPCC_TRY(db.IndexLookup(district_pk_, DistrictKey(w, d), &d_rid));
+  District dist;
+  TPCC_TRY(db.LockRowExclusive(&agent, district_t_, Rid::FromU64(d_rid)));
+  TPCC_TRY(db.Read(&agent, district_t_, Rid::FromU64(d_rid), &dist,
+                   sizeof(dist)));
+  dist.ytd += amount;
+  TPCC_TRY(
+      db.Update(&agent, district_t_, Rid::FromU64(d_rid), AsBytes(dist)));
+
+  uint64_t c_rid;
+  Customer cust;
+  TPCC_TRY(ResolveCustomer(db, agent, c_w, c_d, &c_rid, &cust));
+  TPCC_TRY(db.LockRowExclusive(&agent, customer_t_, Rid::FromU64(c_rid)));
+  cust.balance -= amount;
+  cust.ytd_payment += amount;
+  cust.payment_cnt++;
+  TPCC_TRY(
+      db.Update(&agent, customer_t_, Rid::FromU64(c_rid), AsBytes(cust)));
+
+  History h{};
+  h.c_w_id = c_w;
+  h.c_d_id = c_d;
+  h.c_id = cust.c_id;
+  h.w_id = w;
+  h.d_id = d;
+  h.amount = amount;
+  h.date = NowMicros();
+  Rid h_rid;
+  TPCC_TRY(db.Insert(&agent, history_t_, AsBytes(h), &h_rid));
+
+  return db.Commit(&agent);
+}
+
+Status TpccWorkload::OrderStatus(Database& db, AgentContext& agent) {
+  Rng& rng = agent.rng();
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(1, options_.warehouses));
+  const uint32_t d =
+      static_cast<uint32_t>(rng.Uniform(1, options_.districts_per_warehouse));
+
+  db.Begin(&agent);
+  uint64_t c_rid;
+  Customer cust;
+  TPCC_TRY(ResolveCustomer(db, agent, w, d, &c_rid, &cust));
+
+  // Newest order of this customer.
+  uint64_t o_rid = 0;
+  bool have_order = false;
+  db.IndexScanReverse(cust_order_, CustOrderKey(w, d, cust.c_id, 0),
+                      CustOrderKey(w, d, cust.c_id, 0xffffff),
+                      [&](uint64_t, uint64_t rid) {
+                        o_rid = rid;
+                        have_order = true;
+                        return false;
+                      });
+  if (!have_order) {
+    db.Abort(&agent);
+    return Status::Aborted("customer has no orders");
+  }
+  Order order;
+  TPCC_TRY(
+      db.Read(&agent, order_t_, Rid::FromU64(o_rid), &order, sizeof(order)));
+
+  // Its lines.
+  std::vector<uint64_t> line_rids;
+  db.IndexLookupAll(orderline_idx_, OrderKey(w, d, order.o_id), &line_rids);
+  OrderLine ol;
+  for (uint64_t rid : line_rids) {
+    TPCC_TRY(
+        db.Read(&agent, orderline_t_, Rid::FromU64(rid), &ol, sizeof(ol)));
+  }
+  return db.Commit(&agent);
+}
+
+Status TpccWorkload::Delivery(Database& db, AgentContext& agent) {
+  Rng& rng = agent.rng();
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(1, options_.warehouses));
+  const uint32_t carrier = static_cast<uint32_t>(rng.Uniform(1, 10));
+
+  db.Begin(&agent);
+  for (uint32_t d = 1; d <= options_.districts_per_warehouse; ++d) {
+    // Oldest undelivered order in this district.
+    uint64_t no_rid = 0;
+    uint64_t no_key = 0;
+    bool found = false;
+    db.IndexScan(neworder_pk_, OrderKey(w, d, 0), OrderKey(w, d, 0xffffffff),
+                 [&](uint64_t key, uint64_t rid) {
+                   no_key = key;
+                   no_rid = rid;
+                   found = true;
+                   return false;
+                 });
+    if (!found) continue;  // district fully delivered
+    const uint32_t o_id = static_cast<uint32_t>(no_key & 0xffffffff);
+
+    // Claim the NEW-ORDER row; a concurrent Delivery may beat us to it.
+    const Status del = db.Delete(&agent, neworder_t_, Rid::FromU64(no_rid));
+    if (del.IsNotFound()) continue;
+    TPCC_TRY(del);
+    TPCC_TRY(db.IndexRemove(&agent, neworder_pk_, no_key, no_rid));
+
+    uint64_t o_rid;
+    TPCC_TRY(db.IndexLookup(order_pk_, OrderKey(w, d, o_id), &o_rid));
+    Order order;
+    TPCC_TRY(db.LockRowExclusive(&agent, order_t_, Rid::FromU64(o_rid)));
+    TPCC_TRY(
+        db.Read(&agent, order_t_, Rid::FromU64(o_rid), &order, sizeof(order)));
+    order.carrier_id = carrier;
+    TPCC_TRY(
+        db.Update(&agent, order_t_, Rid::FromU64(o_rid), AsBytes(order)));
+
+    // Stamp all lines and total them.
+    std::vector<uint64_t> line_rids;
+    db.IndexLookupAll(orderline_idx_, OrderKey(w, d, o_id), &line_rids);
+    int64_t total = 0;
+    const uint64_t now = NowMicros();
+    for (uint64_t rid : line_rids) {
+      OrderLine ol;
+      TPCC_TRY(db.LockRowExclusive(&agent, orderline_t_, Rid::FromU64(rid)));
+      TPCC_TRY(
+          db.Read(&agent, orderline_t_, Rid::FromU64(rid), &ol, sizeof(ol)));
+      ol.delivery_d = now;
+      total += ol.amount;
+      TPCC_TRY(
+          db.Update(&agent, orderline_t_, Rid::FromU64(rid), AsBytes(ol)));
+    }
+
+    // Credit the customer.
+    uint64_t c_rid;
+    TPCC_TRY(db.IndexLookup(customer_pk_, CustomerKey(w, d, order.c_id),
+                            &c_rid));
+    Customer cust;
+    TPCC_TRY(db.LockRowExclusive(&agent, customer_t_, Rid::FromU64(c_rid)));
+    TPCC_TRY(db.Read(&agent, customer_t_, Rid::FromU64(c_rid), &cust,
+                     sizeof(cust)));
+    cust.balance += total;
+    cust.delivery_cnt++;
+    TPCC_TRY(
+        db.Update(&agent, customer_t_, Rid::FromU64(c_rid), AsBytes(cust)));
+  }
+  return db.Commit(&agent);
+}
+
+Status TpccWorkload::StockLevel(Database& db, AgentContext& agent) {
+  Rng& rng = agent.rng();
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(1, options_.warehouses));
+  const uint32_t d =
+      static_cast<uint32_t>(rng.Uniform(1, options_.districts_per_warehouse));
+  const uint32_t threshold = static_cast<uint32_t>(rng.Uniform(10, 20));
+
+  db.Begin(&agent);
+  uint64_t d_rid;
+  TPCC_TRY(db.IndexLookup(district_pk_, DistrictKey(w, d), &d_rid));
+  District dist;
+  TPCC_TRY(db.Read(&agent, district_t_, Rid::FromU64(d_rid), &dist,
+                   sizeof(dist)));
+
+  // Examine the lines of the last 20 orders (paper: "roughly 200 order
+  // line items and their corresponding stock entries").
+  const uint32_t from =
+      dist.next_o_id > 20 ? dist.next_o_id - 20 : 1;
+  std::set<uint32_t> low_items;
+  std::set<uint32_t> seen_items;
+  for (uint32_t o = from; o < dist.next_o_id; ++o) {
+    std::vector<uint64_t> line_rids;
+    db.IndexLookupAll(orderline_idx_, OrderKey(w, d, o), &line_rids);
+    for (uint64_t rid : line_rids) {
+      OrderLine ol;
+      TPCC_TRY(
+          db.Read(&agent, orderline_t_, Rid::FromU64(rid), &ol, sizeof(ol)));
+      if (!seen_items.insert(ol.i_id).second) continue;
+      uint64_t s_rid;
+      TPCC_TRY(db.IndexLookup(stock_pk_, StockKey(w, ol.i_id), &s_rid));
+      Stock stock;
+      TPCC_TRY(db.Read(&agent, stock_t_, Rid::FromU64(s_rid), &stock,
+                       sizeof(stock)));
+      if (stock.quantity < threshold) low_items.insert(ol.i_id);
+    }
+  }
+  return db.Commit(&agent);
+}
+
+bool TpccWorkload::CheckConsistency(Database& db, AgentContext& agent) {
+  db.Begin(&agent);
+  bool ok = true;
+  for (uint32_t w = 1; w <= options_.warehouses && ok; ++w) {
+    for (uint32_t d = 1; d <= options_.districts_per_warehouse && ok; ++d) {
+      uint64_t d_rid;
+      if (!db.IndexLookup(district_pk_, DistrictKey(w, d), &d_rid).ok()) {
+        ok = false;
+        break;
+      }
+      District dist;
+      if (!db.Read(&agent, district_t_, Rid::FromU64(d_rid), &dist,
+                   sizeof(dist))
+               .ok()) {
+        ok = false;
+        break;
+      }
+      // Condition 1 (scaled): the order row for next_o_id - 1 exists and
+      // the one for next_o_id does not.
+      uint64_t rid;
+      if (dist.next_o_id > 1 &&
+          !db.IndexLookup(order_pk_, OrderKey(w, d, dist.next_o_id - 1), &rid)
+               .ok()) {
+        ok = false;
+      }
+      if (db.IndexLookup(order_pk_, OrderKey(w, d, dist.next_o_id), &rid)
+              .ok()) {
+        ok = false;
+      }
+    }
+  }
+  db.Abort(&agent);  // read-only; no need to commit
+  return ok;
+}
+
+}  // namespace slidb

@@ -1,0 +1,190 @@
+// TPC-C: order-entry OLTP over nine tables with the five standard
+// transactions. Implements the paper's "small mix" (Payment / New Order /
+// Order Status at 46.7/48.9/4.3) and the full mix (45/43/4/4/4), plus
+// single-transaction modes for the per-transaction figures.
+//
+// Scaling (documented in DESIGN.md): warehouses are configurable (the paper
+// used 300 on a 64-context box); customers per district and items default
+// to 3000/10000 with the spec NURand skew.
+#pragma once
+
+#include <cstdint>
+
+#include "src/workload/workload.h"
+
+namespace slidb {
+
+enum class TpccTxnType : uint8_t {
+  kNewOrder = 0,
+  kPayment,
+  kOrderStatus,
+  kDelivery,
+  kStockLevel,
+};
+
+struct TpccOptions {
+  uint32_t warehouses = 4;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 3000;
+  uint32_t items = 10'000;
+  uint32_t initial_orders_per_district = 100;  // spec: 3000; scaled
+};
+
+namespace tpcc {
+
+struct Warehouse {
+  uint32_t w_id;
+  int64_t ytd;
+  float tax;
+  char name[12];
+  char city[16];
+};
+
+struct District {
+  uint32_t w_id;
+  uint32_t d_id;
+  uint32_t next_o_id;
+  int64_t ytd;
+  float tax;
+  char name[12];
+};
+
+struct Customer {
+  uint32_t w_id;
+  uint32_t d_id;
+  uint32_t c_id;
+  int64_t balance;       // cents
+  int64_t ytd_payment;
+  uint32_t payment_cnt;
+  uint32_t delivery_cnt;
+  char last[18];
+  char first[18];
+  char credit[2];        // "GC"/"BC"
+  char data[64];         // scaled from the spec's 500B
+};
+
+struct History {
+  uint32_t c_w_id, c_d_id, c_id;
+  uint32_t w_id, d_id;
+  int64_t amount;
+  uint64_t date;
+};
+
+struct NewOrderRow {
+  uint32_t w_id, d_id, o_id;
+};
+
+struct Order {
+  uint32_t w_id, d_id, o_id;
+  uint32_t c_id;
+  uint32_t carrier_id;  // 0 = not delivered
+  uint32_t ol_cnt;
+  uint8_t all_local;
+  uint64_t entry_d;
+};
+
+struct OrderLine {
+  uint32_t w_id, d_id, o_id;
+  uint32_t ol_number;
+  uint32_t i_id;
+  uint32_t supply_w_id;
+  uint32_t quantity;
+  int64_t amount;
+  uint64_t delivery_d;  // 0 = pending
+};
+
+struct Item {
+  uint32_t i_id;
+  int64_t price;  // cents
+  char name[24];
+  char data[50];
+};
+
+struct Stock {
+  uint32_t w_id;
+  uint32_t i_id;
+  uint32_t quantity;
+  int64_t ytd;
+  uint32_t order_cnt;
+  uint32_t remote_cnt;
+  char dist_info[24];
+};
+
+}  // namespace tpcc
+
+class TpccWorkload : public Workload {
+ public:
+  enum class Mix : uint8_t {
+    kFull,    ///< 45/43/4/4/4 (NewOrder/Payment/OrderStatus/Delivery/Stock)
+    kSmall,   ///< Payment/NewOrder/OrderStatus at 46.7/48.9/4.3 (paper)
+    kSingle,  ///< only `single_type`
+  };
+
+  explicit TpccWorkload(TpccOptions options = {}, Mix mix = Mix::kSmall,
+                        TpccTxnType single_type = TpccTxnType::kPayment)
+      : options_(options), mix_(mix), single_type_(single_type) {}
+
+  const char* name() const override;
+  void Load(Database& db) override;
+  Status RunOne(Database& db, AgentContext& agent) override;
+
+  Status NewOrder(Database& db, AgentContext& agent);
+  Status Payment(Database& db, AgentContext& agent);
+  Status OrderStatus(Database& db, AgentContext& agent);
+  Status Delivery(Database& db, AgentContext& agent);
+  Status StockLevel(Database& db, AgentContext& agent);
+
+  const TpccOptions& options() const { return options_; }
+
+  /// TPC-C consistency condition 1 (scaled): for every district,
+  /// d_next_o_id - 1 equals the max order id in both ORDER and NEW-ORDER
+  /// reachable ranges. Used by tests after concurrent runs.
+  bool CheckConsistency(Database& db, AgentContext& agent);
+
+ private:
+  TpccTxnType PickType(Rng& rng) const;
+
+  // Key encodings.
+  uint64_t DistrictKey(uint32_t w, uint32_t d) const {
+    return static_cast<uint64_t>(w) * 100 + d;
+  }
+  uint64_t CustomerKey(uint32_t w, uint32_t d, uint32_t c) const {
+    return (DistrictKey(w, d) << 20) | c;
+  }
+  uint64_t CustomerNameKey(uint32_t w, uint32_t d, uint32_t name_hash) const {
+    return (DistrictKey(w, d) << 20) | name_hash;
+  }
+  uint64_t OrderKey(uint32_t w, uint32_t d, uint32_t o) const {
+    return (DistrictKey(w, d) << 32) | o;
+  }
+  uint64_t CustOrderKey(uint32_t w, uint32_t d, uint32_t c, uint32_t o) const {
+    return (CustomerKey(w, d, c) << 24) | o;
+  }
+  uint64_t StockKey(uint32_t w, uint32_t i) const {
+    return (static_cast<uint64_t>(w) << 24) | i;
+  }
+
+  uint32_t PickCustomerId(Rng& rng) const;
+  uint32_t PickItemId(Rng& rng) const;
+  /// 60%: by last name (returns c_id via name index); 40%: by id.
+  Status ResolveCustomer(Database& db, AgentContext& agent, uint32_t w,
+                         uint32_t d, uint64_t* rid_out,
+                         tpcc::Customer* cust_out);
+
+  TpccOptions options_;
+  Mix mix_;
+  TpccTxnType single_type_;
+
+  TableId warehouse_t_{}, district_t_{}, customer_t_{}, history_t_{},
+      neworder_t_{}, order_t_{}, orderline_t_{}, item_t_{}, stock_t_{};
+  IndexId warehouse_pk_{}, district_pk_{}, customer_pk_{}, customer_name_{},
+      neworder_pk_{}, order_pk_{}, cust_order_{}, orderline_idx_{}, item_pk_{},
+      stock_pk_{};
+};
+
+/// TPC-C last-name syllable generator (spec clause 4.3.2.3).
+void TpccLastName(uint32_t num, char out[18]);
+/// 16-bit hash of a last name for the by-name index key.
+uint32_t TpccNameHash(const char* name);
+
+}  // namespace slidb

@@ -1,0 +1,28 @@
+// Workload interface: a benchmark = schema + loader + transaction mix.
+#pragma once
+
+#include "src/engine/database.h"
+#include "src/util/status.h"
+
+namespace slidb {
+
+/// One benchmark workload. Load() runs once (single-threaded, setup phase);
+/// RunOne() executes a single transaction picked from the workload's mix.
+///
+/// RunOne status conventions:
+///  * OK        — transaction committed
+///  * Aborted   — benchmark-specified failure (invalid input), rolled back;
+///                these are valid executions per the TM1 spec and are
+///                counted separately
+///  * Deadlock / TimedOut — engine-initiated abort; the driver retries with
+///                fresh input
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const char* name() const = 0;
+  virtual void Load(Database& db) = 0;
+  virtual Status RunOne(Database& db, AgentContext& agent) = 0;
+};
+
+}  // namespace slidb

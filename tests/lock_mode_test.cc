@@ -1,0 +1,206 @@
+// Property tests for the lock-mode matrices: the compatibility relation,
+// the supremum lattice, covers, intention derivation, and the heritable-mode
+// predicate SLI relies on.
+#include <gtest/gtest.h>
+
+#include "src/lock/lock_id.h"
+#include "src/lock/lock_mode.h"
+
+namespace slidb {
+namespace {
+
+const LockMode kAllModes[] = {LockMode::kNL, LockMode::kIS, LockMode::kIX,
+                              LockMode::kS,  LockMode::kSIX, LockMode::kU,
+                              LockMode::kX};
+
+TEST(LockModeTest, ClassicPairs) {
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kIX));
+  EXPECT_TRUE(Compatible(LockMode::kIX, LockMode::kIX));
+  EXPECT_TRUE(Compatible(LockMode::kS, LockMode::kS));
+  EXPECT_FALSE(Compatible(LockMode::kS, LockMode::kIX));
+  EXPECT_FALSE(Compatible(LockMode::kX, LockMode::kIS));
+  EXPECT_FALSE(Compatible(LockMode::kSIX, LockMode::kS));
+  EXPECT_TRUE(Compatible(LockMode::kSIX, LockMode::kIS));
+  EXPECT_FALSE(Compatible(LockMode::kX, LockMode::kX));
+}
+
+TEST(LockModeTest, NothingConflictsWithNL) {
+  for (LockMode m : kAllModes) {
+    EXPECT_TRUE(Compatible(LockMode::kNL, m));
+    EXPECT_TRUE(Compatible(m, LockMode::kNL));
+  }
+}
+
+TEST(LockModeTest, XConflictsWithEverythingReal) {
+  for (LockMode m : kAllModes) {
+    if (m == LockMode::kNL) continue;
+    EXPECT_FALSE(Compatible(LockMode::kX, m)) << LockModeName(m);
+    EXPECT_FALSE(Compatible(m, LockMode::kX)) << LockModeName(m);
+  }
+}
+
+TEST(LockModeTest, UpdateModeAsymmetry) {
+  // A held S admits a new U (reader upgrades allowed)…
+  EXPECT_TRUE(Compatible(LockMode::kS, LockMode::kU));
+  // …but a held U blocks new S and U requests (starvation prevention).
+  EXPECT_FALSE(Compatible(LockMode::kU, LockMode::kS));
+  EXPECT_FALSE(Compatible(LockMode::kU, LockMode::kU));
+  // Intention-share coexists with U in both directions.
+  EXPECT_TRUE(Compatible(LockMode::kU, LockMode::kIS));
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kU));
+}
+
+TEST(LockModeTest, CompatibilitySymmetricExceptU) {
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      if (a == LockMode::kU || b == LockMode::kU) continue;
+      EXPECT_EQ(Compatible(a, b), Compatible(b, a))
+          << LockModeName(a) << " vs " << LockModeName(b);
+    }
+  }
+}
+
+TEST(LockModeTest, SupremumIsCommutativeAndIdempotent) {
+  for (LockMode a : kAllModes) {
+    EXPECT_EQ(Supremum(a, a), a);
+    for (LockMode b : kAllModes) {
+      EXPECT_EQ(Supremum(a, b), Supremum(b, a))
+          << LockModeName(a) << " + " << LockModeName(b);
+    }
+  }
+}
+
+TEST(LockModeTest, SupremumCoversBothOperands) {
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      const LockMode sup = Supremum(a, b);
+      EXPECT_TRUE(Covers(sup, a))
+          << LockModeName(sup) << " !covers " << LockModeName(a);
+      EXPECT_TRUE(Covers(sup, b))
+          << LockModeName(sup) << " !covers " << LockModeName(b);
+    }
+  }
+}
+
+TEST(LockModeTest, SupremumWellKnownCases) {
+  EXPECT_EQ(Supremum(LockMode::kS, LockMode::kIX), LockMode::kSIX);
+  EXPECT_EQ(Supremum(LockMode::kIS, LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(Supremum(LockMode::kIS, LockMode::kS), LockMode::kS);
+  EXPECT_EQ(Supremum(LockMode::kU, LockMode::kIX), LockMode::kX);
+  EXPECT_EQ(Supremum(LockMode::kU, LockMode::kX), LockMode::kX);
+  EXPECT_EQ(Supremum(LockMode::kNL, LockMode::kS), LockMode::kS);
+}
+
+TEST(LockModeTest, CoversIsReflexiveAndAntisymmetricish) {
+  for (LockMode a : kAllModes) {
+    EXPECT_TRUE(Covers(a, a)) << LockModeName(a);
+    EXPECT_TRUE(Covers(LockMode::kX, a));
+    EXPECT_TRUE(Covers(a, LockMode::kNL));
+  }
+  EXPECT_FALSE(Covers(LockMode::kS, LockMode::kIX));
+  EXPECT_FALSE(Covers(LockMode::kIX, LockMode::kS));
+  EXPECT_TRUE(Covers(LockMode::kSIX, LockMode::kS));
+  EXPECT_TRUE(Covers(LockMode::kSIX, LockMode::kIX));
+}
+
+TEST(LockModeTest, CoversImpliesNoIncrementalStrength) {
+  // If held covers wanted, the supremum is the held mode itself.
+  for (LockMode held : kAllModes) {
+    for (LockMode wanted : kAllModes) {
+      if (Covers(held, wanted)) {
+        EXPECT_EQ(Supremum(held, wanted), held)
+            << LockModeName(held) << " covers " << LockModeName(wanted);
+      }
+    }
+  }
+}
+
+TEST(LockModeTest, IntentionDerivation) {
+  EXPECT_EQ(IntentionFor(LockMode::kS), LockMode::kIS);
+  EXPECT_EQ(IntentionFor(LockMode::kIS), LockMode::kIS);
+  EXPECT_EQ(IntentionFor(LockMode::kX), LockMode::kIX);
+  EXPECT_EQ(IntentionFor(LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(IntentionFor(LockMode::kSIX), LockMode::kIX);
+  EXPECT_EQ(IntentionFor(LockMode::kU), LockMode::kIX);
+}
+
+TEST(LockModeTest, IntentionModesAreMutuallyCompatible) {
+  // The root cause of SLI's opportunity: every transaction takes intention
+  // locks high in the hierarchy and they never conflict with each other.
+  for (LockMode a : {LockMode::kIS, LockMode::kIX}) {
+    for (LockMode b : {LockMode::kIS, LockMode::kIX}) {
+      EXPECT_TRUE(Compatible(a, b));
+    }
+  }
+}
+
+TEST(LockModeTest, HeritableModesMatchPaper) {
+  // Paper §4.2 criterion 3: "held in a shared mode (e.g. S, IS, IX)".
+  EXPECT_TRUE(IsHeritableMode(LockMode::kS));
+  EXPECT_TRUE(IsHeritableMode(LockMode::kIS));
+  EXPECT_TRUE(IsHeritableMode(LockMode::kIX));
+  EXPECT_FALSE(IsHeritableMode(LockMode::kX));
+  EXPECT_FALSE(IsHeritableMode(LockMode::kSIX));
+  EXPECT_FALSE(IsHeritableMode(LockMode::kU));
+  EXPECT_FALSE(IsHeritableMode(LockMode::kNL));
+}
+
+TEST(LockModeTest, HeritableModesAreMutuallyCompatibleAtIntentLevel) {
+  // Safety property behind SLI: heritable intent modes cannot conflict,
+  // except S with IX (which is why criterion 4/invalidations exist for S).
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kIX));
+  EXPECT_TRUE(Compatible(LockMode::kIX, LockMode::kIS));
+  EXPECT_TRUE(Compatible(LockMode::kS, LockMode::kIS));
+}
+
+TEST(LockModeTest, ParentCoverage) {
+  EXPECT_TRUE(ParentCoversChild(LockMode::kX, LockMode::kX));
+  EXPECT_TRUE(ParentCoversChild(LockMode::kX, LockMode::kS));
+  EXPECT_TRUE(ParentCoversChild(LockMode::kS, LockMode::kS));
+  EXPECT_FALSE(ParentCoversChild(LockMode::kS, LockMode::kX));
+  EXPECT_TRUE(ParentCoversChild(LockMode::kSIX, LockMode::kS));
+  EXPECT_FALSE(ParentCoversChild(LockMode::kSIX, LockMode::kX));
+  EXPECT_FALSE(ParentCoversChild(LockMode::kIX, LockMode::kS));
+  EXPECT_FALSE(ParentCoversChild(LockMode::kIS, LockMode::kS));
+}
+
+// ---- LockId hierarchy ----
+
+TEST(LockIdTest, ParentChain) {
+  const LockId row = LockId::Row(1, 2, 3, 4);
+  const LockId page = row.Parent();
+  EXPECT_EQ(page, LockId::Page(1, 2, 3));
+  const LockId table = page.Parent();
+  EXPECT_EQ(table, LockId::Table(1, 2));
+  const LockId db = table.Parent();
+  EXPECT_EQ(db, LockId::Database(1));
+  EXPECT_FALSE(db.HasParent());
+  EXPECT_TRUE(row.HasParent());
+}
+
+TEST(LockIdTest, EqualityDistinguishesLevels) {
+  EXPECT_FALSE(LockId::Table(1, 2) == LockId::Page(1, 2, 0));
+  EXPECT_TRUE(LockId::Table(1, 2) == LockId::Table(1, 2));
+  EXPECT_FALSE(LockId::Row(1, 2, 3, 4) == LockId::Row(1, 2, 3, 5));
+}
+
+TEST(LockIdTest, HashSpreads) {
+  // Not a strict property, but hashes of adjacent rows should not collide
+  // in bulk: count collisions over a window.
+  int collisions = 0;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const uint64_t h1 = LockId::Row(0, 1, 10, i).Hash();
+    const uint64_t h2 = LockId::Row(0, 1, 10, i + 1).Hash();
+    if ((h1 & 0x3fff) == (h2 & 0x3fff)) ++collisions;
+  }
+  EXPECT_LT(collisions, 10);
+}
+
+TEST(LockIdTest, ToStringShowsLevel) {
+  EXPECT_NE(LockId::Row(1, 2, 3, 4).ToString().find("row"),
+            std::string::npos);
+  EXPECT_NE(LockId::Table(1, 2).ToString().find("table"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slidb

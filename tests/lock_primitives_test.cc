@@ -1,0 +1,179 @@
+// Direct unit coverage for the lock-manager building blocks: the
+// transaction lock cache, the hot tracker, the request pool, and the agent
+// inheritance list.
+#include <gtest/gtest.h>
+
+#include "src/lock/agent_sli.h"
+#include "src/lock/lock_cache.h"
+#include "src/lock/lock_head.h"
+
+namespace slidb {
+namespace {
+
+TEST(LockCacheTest, InsertFindRoundTrip) {
+  LockCache cache;
+  LockRequest r1, r2;
+  cache.Insert(LockId::Table(0, 1), &r1);
+  cache.Insert(LockId::Row(0, 1, 2, 3), &r2);
+  EXPECT_EQ(cache.Find(LockId::Table(0, 1)), &r1);
+  EXPECT_EQ(cache.Find(LockId::Row(0, 1, 2, 3)), &r2);
+  EXPECT_EQ(cache.Find(LockId::Table(0, 2)), nullptr);
+}
+
+TEST(LockCacheTest, InsertOverwritesSameId) {
+  LockCache cache;
+  LockRequest r1, r2;
+  cache.Insert(LockId::Table(0, 1), &r1);
+  cache.Insert(LockId::Table(0, 1), &r2);
+  EXPECT_EQ(cache.Find(LockId::Table(0, 1)), &r2);
+}
+
+TEST(LockCacheTest, EraseRemovesWithoutBreakingProbes) {
+  LockCache cache;
+  // Force a probe chain by inserting many ids (some will collide).
+  LockRequest reqs[300];
+  for (uint32_t i = 0; i < 300; ++i) {
+    cache.Insert(LockId::Page(0, 1, i), &reqs[i]);
+  }
+  cache.Erase(LockId::Page(0, 1, 150));
+  EXPECT_EQ(cache.Find(LockId::Page(0, 1, 150)), nullptr);
+  // Every other entry is still reachable despite the tombstone.
+  for (uint32_t i = 0; i < 300; ++i) {
+    if (i == 150) continue;
+    EXPECT_EQ(cache.Find(LockId::Page(0, 1, i)), &reqs[i]) << i;
+  }
+}
+
+TEST(LockCacheTest, ClearEmptiesEverything) {
+  LockCache cache;
+  LockRequest reqs[400];  // spills into the overflow vector
+  for (uint32_t i = 0; i < 400; ++i) {
+    cache.Insert(LockId::Row(0, 9, i, 0), &reqs[i]);
+  }
+  cache.Clear();
+  for (uint32_t i = 0; i < 400; ++i) {
+    EXPECT_EQ(cache.Find(LockId::Row(0, 9, i, 0)), nullptr);
+  }
+}
+
+TEST(LockCacheTest, DatabaseZeroIdIsNotConfusedWithEmptySlots) {
+  // Regression guard: LockId::Database(0) is all-zero fields; lookups for
+  // it must not match empty or tombstoned slots.
+  LockCache cache;
+  EXPECT_EQ(cache.Find(LockId::Database(0)), nullptr);
+  LockRequest r;
+  cache.Insert(LockId::Database(0), &r);
+  EXPECT_EQ(cache.Find(LockId::Database(0)), &r);
+  cache.Erase(LockId::Database(0));
+  EXPECT_EQ(cache.Find(LockId::Database(0)), nullptr);
+}
+
+TEST(HotTrackerTest, WindowedThreshold) {
+  HotTracker hot;
+  EXPECT_FALSE(hot.IsHot(1));
+  hot.Record(true);
+  EXPECT_TRUE(hot.IsHot(1));
+  EXPECT_FALSE(hot.IsHot(2));
+  for (int i = 0; i < 3; ++i) hot.Record(true);
+  EXPECT_TRUE(hot.IsHot(4));
+}
+
+TEST(HotTrackerTest, WindowSlidesContentionOut) {
+  HotTracker hot;
+  hot.Record(true);
+  // 16 uncontended acquisitions push the hit out of the window.
+  for (int i = 0; i < 16; ++i) hot.Record(false);
+  EXPECT_FALSE(hot.IsHot(1));
+  // Cumulative stats survive the window.
+  EXPECT_EQ(hot.total_acquires(), 17u);
+  EXPECT_EQ(hot.total_contended(), 1u);
+}
+
+TEST(HotTrackerTest, ForceHotAndClear) {
+  HotTracker hot;
+  hot.ForceHot();
+  EXPECT_TRUE(hot.IsHot(16));
+  hot.Clear();
+  EXPECT_FALSE(hot.IsHot(1));
+}
+
+TEST(RequestPoolTest, ReusesFreedRequests) {
+  RequestPool pool;
+  LockRequest* a = pool.Alloc();
+  a->mode = LockMode::kX;
+  a->sli_miss_count = 3;
+  pool.Free(a);
+  LockRequest* b = pool.Alloc();
+  EXPECT_EQ(b, a);  // LIFO reuse
+  // Reset() must have scrubbed the previous life.
+  EXPECT_EQ(b->mode, LockMode::kNL);
+  EXPECT_EQ(b->sli_miss_count, 0);
+  EXPECT_EQ(b->status.load(), RequestStatus::kWaiting);
+  pool.Free(b);
+}
+
+TEST(RequestPoolTest, LiveAccounting) {
+  RequestPool pool;
+  LockRequest* a = pool.Alloc();
+  LockRequest* b = pool.Alloc();
+  EXPECT_EQ(pool.live(), 2u);
+  pool.Free(a);
+  EXPECT_EQ(pool.live(), 1u);
+  pool.Free(b);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(AgentSliStateTest, PushAndTakeInherited) {
+  AgentSliState sli(7);
+  EXPECT_EQ(sli.agent_id(), 7u);
+  LockRequest r1, r2;
+  sli.PushInherited(&r1);
+  sli.PushInherited(&r2);
+  EXPECT_EQ(sli.inherited_count(), 2u);
+  // Newest first.
+  LockRequest* head = sli.TakeInherited();
+  EXPECT_EQ(head, &r2);
+  EXPECT_EQ(head->agent_next, &r1);
+  EXPECT_EQ(sli.inherited_count(), 0u);
+  EXPECT_EQ(sli.inherited_head(), nullptr);
+}
+
+TEST(LockHeadTest, QueueAppendUnlinkMaintainsLinks) {
+  LockHead head;
+  LockRequest a, b, c;
+  head.Append(&a);
+  head.Append(&b);
+  head.Append(&c);
+  EXPECT_EQ(head.q_head, &a);
+  EXPECT_EQ(head.q_tail, &c);
+  head.Unlink(&b);  // middle
+  EXPECT_EQ(a.q_next, &c);
+  EXPECT_EQ(c.q_prev, &a);
+  head.Unlink(&a);  // head
+  EXPECT_EQ(head.q_head, &c);
+  head.Unlink(&c);  // last
+  EXPECT_TRUE(head.QueueEmpty());
+  EXPECT_EQ(head.q_tail, nullptr);
+}
+
+TEST(LockHeadTest, RecomputeGrantedModeAggregates) {
+  LockHead head;
+  LockRequest a, b;
+  a.mode = LockMode::kIS;
+  a.status.store(RequestStatus::kGranted);
+  b.mode = LockMode::kIX;
+  b.status.store(RequestStatus::kInherited);
+  head.Append(&a);
+  head.Append(&b);
+  head.RecomputeGrantedMode();
+  EXPECT_EQ(head.granted_mode, LockMode::kIX);  // sup(IS, IX)
+  EXPECT_EQ(head.granted_count, 2u);
+
+  b.status.store(RequestStatus::kWaiting);
+  head.RecomputeGrantedMode();
+  EXPECT_EQ(head.granted_mode, LockMode::kIS);
+  EXPECT_EQ(head.granted_count, 1u);
+}
+
+}  // namespace
+}  // namespace slidb

@@ -1,0 +1,201 @@
+// Transaction manager tests: lifecycle, undo ordering, durability
+// interaction, SLI hand-off across the Begin/Commit boundary.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/txn/transaction_manager.h"
+
+namespace slidb {
+namespace {
+
+struct TxnHarness {
+  TxnHarness() {
+    LockManagerOptions lo;
+    lo.deadlock_interval_us = 500;
+    lock_manager = std::make_unique<LockManager>(lo);
+    LogOptions logo;
+    logo.flush_interval_us = 50;
+    log_manager = std::make_unique<LogManager>(logo);
+    txn_manager = std::make_unique<TransactionManager>(lock_manager.get(),
+                                                       log_manager.get());
+  }
+  std::unique_ptr<LockManager> lock_manager;
+  std::unique_ptr<LogManager> log_manager;
+  std::unique_ptr<TransactionManager> txn_manager;
+};
+
+TEST(TxnTest, BeginAssignsMonotonicIds) {
+  TxnHarness h;
+  AgentContext agent(0);
+  Transaction* t1 = h.txn_manager->Begin(&agent);
+  const uint64_t id1 = t1->id();
+  ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  Transaction* t2 = h.txn_manager->Begin(&agent);
+  EXPECT_GT(t2->id(), id1);
+  h.txn_manager->Abort(&agent);
+}
+
+TEST(TxnTest, StateTransitions) {
+  TxnHarness h;
+  AgentContext agent(0);
+  Transaction* t = h.txn_manager->Begin(&agent);
+  EXPECT_EQ(t->state(), TxnState::kActive);
+  ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  EXPECT_EQ(t->state(), TxnState::kCommitted);
+
+  h.txn_manager->Begin(&agent);
+  h.txn_manager->Abort(&agent);
+  EXPECT_EQ(t->state(), TxnState::kAborted);
+}
+
+TEST(TxnTest, CommitOfInactiveTxnRejected) {
+  TxnHarness h;
+  AgentContext agent(0);
+  h.txn_manager->Begin(&agent);
+  ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  EXPECT_TRUE(h.txn_manager->Commit(&agent).IsInvalidArgument());
+  h.txn_manager->Abort(&agent);  // no-op on inactive txn
+}
+
+TEST(TxnTest, UndoRunsInReverseOrderOnAbort) {
+  TxnHarness h;
+  AgentContext agent(0);
+  Transaction* t = h.txn_manager->Begin(&agent);
+  std::vector<int> order;
+  t->AddUndo([&] { order.push_back(1); });
+  t->AddUndo([&] { order.push_back(2); });
+  t->AddUndo([&] { order.push_back(3); });
+  h.txn_manager->Abort(&agent);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 3);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(TxnTest, UndoNotRunOnCommit) {
+  TxnHarness h;
+  AgentContext agent(0);
+  Transaction* t = h.txn_manager->Begin(&agent);
+  bool ran = false;
+  t->AddUndo([&] { ran = true; });
+  ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  EXPECT_FALSE(ran);
+}
+
+TEST(TxnTest, CommitWaitsForDurability) {
+  TxnHarness h;
+  AgentContext agent(0);
+  h.txn_manager->Begin(&agent);
+  ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  // The commit record must be durable by the time Commit returns.
+  EXPECT_GE(h.log_manager->durable_lsn(), h.log_manager->appended_lsn());
+}
+
+TEST(TxnTest, LocksReleasedOnCommitAndAbort) {
+  TxnHarness h;
+  AgentContext agent(0);
+  h.txn_manager->Begin(&agent);
+  ASSERT_TRUE(h.lock_manager
+                  ->Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
+                         LockMode::kX)
+                  .ok());
+  ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+
+  // Another client can now take the conflicting lock instantly.
+  LockClient other;
+  other.StartTxn(1000, 9);
+  ASSERT_TRUE(h.lock_manager->Lock(&other, LockId::Table(0, 1), LockMode::kX)
+                  .ok());
+  h.lock_manager->ReleaseAll(&other, nullptr, false);
+
+  h.txn_manager->Begin(&agent);
+  ASSERT_TRUE(h.lock_manager
+                  ->Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
+                         LockMode::kX)
+                  .ok());
+  h.txn_manager->Abort(&agent);
+  other.StartTxn(1001, 9);
+  ASSERT_TRUE(h.lock_manager->Lock(&other, LockId::Table(0, 1), LockMode::kX)
+                  .ok());
+  h.lock_manager->ReleaseAll(&other, nullptr, false);
+}
+
+TEST(TxnTest, SliFlowsThroughBeginCommitBoundary) {
+  TxnHarness h;
+  h.lock_manager->mutable_options().enable_sli = true;
+  h.lock_manager->mutable_options().sli_require_hot = false;
+  AgentContext agent(0);
+
+  h.txn_manager->Begin(&agent);
+  ASSERT_TRUE(h.lock_manager
+                  ->Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
+                         LockMode::kS)
+                  .ok());
+  ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  EXPECT_GT(agent.sli().inherited_count(), 0u);
+
+  CounterSet counters;
+  {
+    ScopedCounterSet routed(&counters);
+    h.txn_manager->Begin(&agent);
+    ASSERT_TRUE(h.lock_manager
+                    ->Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
+                           LockMode::kS)
+                    .ok());
+    ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  }
+  EXPECT_GT(counters.Get(Counter::kSliReclaimed), 0u);
+}
+
+TEST(TxnTest, AbortPreservesAgentSpeculation) {
+  // A user abort (e.g. TM1 invalid input) must not throw away the agent's
+  // inherited locks — the next transaction can still reclaim them.
+  TxnHarness h;
+  h.lock_manager->mutable_options().enable_sli = true;
+  h.lock_manager->mutable_options().sli_require_hot = false;
+  AgentContext agent(0);
+
+  h.txn_manager->Begin(&agent);
+  ASSERT_TRUE(h.lock_manager
+                  ->Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
+                         LockMode::kS)
+                  .ok());
+  ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  const size_t inherited = agent.sli().inherited_count();
+  ASSERT_GT(inherited, 0u);
+
+  // Aborting transaction that never touches the locks.
+  h.txn_manager->Begin(&agent);
+  h.txn_manager->Abort(&agent);
+  EXPECT_EQ(agent.sli().inherited_count(), inherited);
+
+  // And the next transaction reclaims.
+  CounterSet counters;
+  {
+    ScopedCounterSet routed(&counters);
+    h.txn_manager->Begin(&agent);
+    ASSERT_TRUE(h.lock_manager
+                    ->Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
+                           LockMode::kS)
+                    .ok());
+    ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  }
+  EXPECT_GT(counters.Get(Counter::kSliReclaimed), 0u);
+}
+
+TEST(TxnTest, LogBytesTracked) {
+  TxnHarness h;
+  AgentContext agent(0);
+  Transaction* t = h.txn_manager->Begin(&agent);
+  t->AddLogBytes(128);
+  t->AddLogBytes(64);
+  EXPECT_EQ(t->log_bytes(), 192u);
+  ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
+  h.txn_manager->Begin(&agent);
+  EXPECT_EQ(t->log_bytes(), 0u);  // reset per transaction
+  h.txn_manager->Abort(&agent);
+}
+
+}  // namespace
+}  // namespace slidb
