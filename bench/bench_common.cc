@@ -52,6 +52,8 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strncmp(argv[i], "--sim=", 6) == 0) {
       args.sim_queue_ns = std::strtoull(argv[i] + 6, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
       args.duration_s = 0.25;
@@ -60,6 +62,106 @@ BenchArgs ParseArgs(int argc, char** argv) {
   }
   g_sim_queue_ns = args.sim_queue_ns;
   return args;
+}
+
+void JsonWriter::Prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prefix();
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  need_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prefix();
+  out_ += '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  need_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& k) {
+  Prefix();
+  out_ += '"';
+  out_ += k;  // bench keys are plain identifiers; no escaping needed
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Prefix();
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  Prefix();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  Prefix();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Prefix();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  Prefix();
+  out_ += '"';
+  for (char c : v) {
+    if (c == '"' || c == '\\') out_ += '\\';
+    out_ += c;
+  }
+  out_ += '"';
+  return *this;
+}
+
+bool JsonWriter::WriteTo(const std::string& path) const {
+  if (path.empty()) {
+    std::printf("%s\n", out_.c_str());
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(out_.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
 }
 
 std::string Fmt(const char* fmt, ...) {

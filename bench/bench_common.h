@@ -1,6 +1,7 @@
 // Shared helpers for the per-figure benchmark harnesses.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -24,6 +25,37 @@ struct BenchArgs {
   uint64_t seed = 42;
   bool quick = false;          ///< CI mode: tiny datasets, short windows
   uint64_t sim_queue_ns = 100;  ///< simulated queue work per entry (--sim=NS)
+  std::string json_path;        ///< write machine-readable results (--json=F)
+};
+
+/// Minimal JSON emitter for the BENCH_*.json result files. Handles comma
+/// placement; the caller is responsible for well-formed nesting.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Starts a "key": inside an object; follow with a value or Begin*().
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+
+  const std::string& str() const { return out_; }
+  /// Write to `path`, or to stdout when `path` is empty. Returns success.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  void Prefix();
+
+  std::string out_;
+  std::vector<bool> need_comma_;  // one level per open object/array
+  bool after_key_ = false;
 };
 
 BenchArgs ParseArgs(int argc, char** argv);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the lock-manager perf benches and writes machine-readable results so
+# the perf trajectory is tracked across PRs. Usage:
+#   bench/run_benches.sh [build_dir] [output.json] [extra bench args...]
+# Defaults: build/ and BENCH_lockmgr.json in the repo root; pass --quick
+# (default) or longer windows via extra args.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_lockmgr.json}"
+shift $(( $# > 2 ? 2 : $# )) || true
+EXTRA_ARGS=("${@:-"--quick"}")
+
+if [[ ! -x "$BUILD_DIR/micro_grant_path" ]]; then
+  echo "error: $BUILD_DIR/micro_grant_path not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/micro_grant_path" "${EXTRA_ARGS[@]}" --json="$OUT"
+echo "bench results written to $OUT"

@@ -37,13 +37,23 @@ class LockCache {
 
   void Insert(const LockId& id, LockRequest* req) {
     size_t i = id.Hash() & (kSlots - 1);
+    // Remember the first tombstone on the probe path: if `id` is not
+    // already present we reuse it, so probe chains shrink back after Erase
+    // instead of growing monotonically over a long-lived agent's life.
+    Entry* reuse = nullptr;
     for (size_t probes = 0; probes < kMaxProbes; ++probes) {
       Entry& e = slots_[i];
-      if (e.req == nullptr || e.id == id) {
-        e.id = id;
+      if (e.req == nullptr) {
+        Entry& dst = reuse != nullptr ? *reuse : e;
+        dst.id = id;
+        dst.req = req;
+        return;
+      }
+      if (e.id == id) {
         e.req = req;
         return;
       }
+      if (reuse == nullptr && e.req == kTombstone()) reuse = &e;
       i = (i + 1) & (kSlots - 1);
     }
     for (Entry& e : overflow_) {
@@ -51,6 +61,11 @@ class LockCache {
         e.req = req;
         return;
       }
+    }
+    if (reuse != nullptr) {
+      reuse->id = id;
+      reuse->req = req;
+      return;
     }
     overflow_.push_back(Entry{id, req});
   }
@@ -83,6 +98,28 @@ class LockCache {
     overflow_.clear();
   }
 
+  // ---- introspection (tests/stats) ----
+
+  /// Slots holding a live entry (tombstones excluded).
+  size_t LiveSlots() const {
+    size_t n = 0;
+    for (const Entry& e : slots_) {
+      if (e.req != nullptr && e.req != kTombstone()) ++n;
+    }
+    return n;
+  }
+
+  /// Slots holding a tombstone left behind by Erase.
+  size_t TombstoneSlots() const {
+    size_t n = 0;
+    for (const Entry& e : slots_) {
+      if (e.req == kTombstone()) ++n;
+    }
+    return n;
+  }
+
+  size_t OverflowSize() const { return overflow_.size(); }
+
  private:
   struct Entry {
     LockId id{};
@@ -90,8 +127,8 @@ class LockCache {
   };
 
   // A tombstone keeps probe chains intact after Erase. Find() treats it as
-  // a mismatch (its id was cleared), Insert() may not reuse the slot — a
-  // deliberate simplification; erases are rare (failed reclaims only).
+  // a mismatch (its id was cleared); Insert() reuses the first tombstone on
+  // its probe path once it has proven the key absent from the window.
   static LockRequest* kTombstone() {
     return reinterpret_cast<LockRequest*>(static_cast<uintptr_t>(1));
   }

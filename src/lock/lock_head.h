@@ -1,10 +1,11 @@
-// Lock heads: one per active lock, holding the request queue, the aggregate
-// granted mode, the protecting latch, and the hot-lock tracker SLI's
-// criterion 2 consults (paper Figure 2).
+// Lock heads: one per active lock, holding the request queue, the
+// incrementally-maintained grant summary, the protecting latch, and the
+// hot-lock tracker SLI's criterion 2 consults (paper Figure 2).
 #pragma once
 
 #include <atomic>
 #include <bit>
+#include <cassert>
 #include <cstdint>
 
 #include "src/lock/lock_id.h"
@@ -40,7 +41,11 @@ class HotTracker {
 
   /// Force-set for tests and the always-inherit ablation.
   void ForceHot() { history_.store(0xffffu, std::memory_order_relaxed); }
-  void Clear() { history_.store(0, std::memory_order_relaxed); }
+  void Clear() {
+    history_.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+    total_contended_.store(0, std::memory_order_relaxed);
+  }
 
   /// Cumulative statistics (whole head lifetime, not windowed).
   uint64_t total_acquires() const {
@@ -56,22 +61,43 @@ class HotTracker {
   std::atomic<uint64_t> total_contended_{0};
 };
 
-/// One active lock. Queue fields are protected by `latch`; `waiter_count`
-/// and `pin_count` are atomic so SLI's criteria checks and the hash table's
-/// life-cycle management can read them without latching.
+/// One active lock. Queue fields are protected by `latch`; `waiter_count`,
+/// `pin_count` and `inherited_hint` are atomic so SLI's criteria checks and
+/// the hash table's life-cycle management can read them without latching.
+///
+/// The grant summary (`granted_counts` / `granted_mask`) counts every *live*
+/// request — kGranted, kInherited, and kConverting (at its currently-held
+/// mode) — per mode, and caches the bitset of modes with nonzero count.
+/// It is maintained incrementally by every grant / upgrade / release /
+/// invalidate, all of which happen under `latch`. The latch-free SLI
+/// transitions (kGranted ⇄ kInherited) do not move a request in or out of
+/// the live set and do not change its mode, so the summary never needs to
+/// observe them — this is what lets conflict detection read one cached mask
+/// instead of walking the queue (see DESIGN.md "Grant-summary invariants").
 struct LockHead {
   LockId id;
   SpinLatch latch;
 
-  /// Supremum of the modes of all granted + inherited requests.
-  LockMode granted_mode = LockMode::kNL;
+  /// Per-mode count of live (granted/inherited/converting) requests and the
+  /// cached bitset of modes whose count is nonzero. Protected by `latch`.
+  uint16_t granted_counts[kNumLockModes] = {};
+  uint8_t granted_mask = 0;
+
+  /// Total queue length (granted + waiting), maintained by Append/Unlink so
+  /// the simulated per-entry queue cost needs no walk. Protected by `latch`.
+  uint32_t queue_len = 0;
 
   /// Requests in kWaiting or kConverting state (atomic: read latch-free by
   /// SLI criterion 4, "no other transaction is waiting").
   std::atomic<uint32_t> waiter_count{0};
 
-  /// Requests in kGranted or kInherited state.
-  uint32_t granted_count = 0;
+  /// Conservative overestimate of the number of kInherited requests in the
+  /// queue: incremented *before* the kGranted→kInherited CAS, decremented
+  /// *after* a request leaves kInherited (reclaim, invalidate, discard).
+  /// Zero therefore proves "nothing to invalidate", letting the conflict
+  /// path fail in O(1) instead of walking the queue looking for inherited
+  /// requests to kill.
+  std::atomic<uint32_t> inherited_hint{0};
 
   HotTracker hot;
 
@@ -84,7 +110,8 @@ struct LockHead {
   /// per thread currently operating on the head outside the bucket latch.
   std::atomic<uint32_t> pin_count{0};
 
-  /// Hash chain link, protected by the bucket latch.
+  /// Hash chain link, protected by the bucket latch. Doubles as the
+  /// free-list link while the head sits in a bucket's reuse pool.
   LockHead* bucket_next = nullptr;
 
   // ---- queue helpers; caller must hold `latch` ----
@@ -98,6 +125,7 @@ struct LockHead {
       q_head = r;
     }
     q_tail = r;
+    ++queue_len;
   }
 
   void Unlink(LockRequest* r) {
@@ -112,25 +140,86 @@ struct LockHead {
       q_tail = r->q_prev;
     }
     r->q_prev = r->q_next = nullptr;
+    --queue_len;
   }
 
   bool QueueEmpty() const { return q_head == nullptr; }
 
-  /// Recompute `granted_mode` from granted/converting/inherited requests.
-  /// Converting requests contribute their currently-granted mode.
-  void RecomputeGrantedMode() {
-    LockMode sup = LockMode::kNL;
-    uint32_t granted = 0;
+  // ---- grant summary; caller must hold `latch` ----
+
+  /// Supremum of the modes of all live (granted + inherited + converting)
+  /// requests — one table lookup on the cached mask.
+  LockMode GrantedMode() const { return kSupremumOfMask[granted_mask]; }
+
+  /// A request entered the live set in `m` (new grant).
+  void SummaryAdd(LockMode m) {
+    if (granted_counts[ModeIdx(m)]++ == 0) granted_mask |= ModeBit(m);
+  }
+
+  /// A live request left the queue (release / invalidate / discard).
+  void SummaryRemove(LockMode m) {
+    assert(granted_counts[ModeIdx(m)] > 0);
+    if (--granted_counts[ModeIdx(m)] == 0) granted_mask &= ~ModeBit(m);
+  }
+
+  /// A live request changed mode (upgrade / conversion grant).
+  void SummaryUpgrade(LockMode from, LockMode to) {
+    if (from == to) return;
+    SummaryRemove(from);
+    SummaryAdd(to);
+  }
+
+  /// The held-mode bitset with `self`'s own contribution removed — the mask
+  /// a request must be tested against when re-evaluating itself (upgrade /
+  /// conversion). O(1).
+  uint8_t MaskExcluding(const LockRequest* self) const {
+    if (self == nullptr) return granted_mask;
+    const RequestStatus s = self->status.load(std::memory_order_acquire);
+    if (s != RequestStatus::kGranted && s != RequestStatus::kConverting &&
+        s != RequestStatus::kInherited) {
+      return granted_mask;
+    }
+    uint8_t mask = granted_mask;
+    if (granted_counts[ModeIdx(self->mode)] == 1) mask &= ~ModeBit(self->mode);
+    return mask;
+  }
+
+  /// Debug checker: recompute the summary from a full queue scan and compare
+  /// with the incremental state. Caller must hold `latch`.
+  bool SummaryMatchesQueue() const {
+    uint16_t counts[kNumLockModes] = {};
+    uint8_t mask = 0;
+    uint32_t len = 0;
     for (LockRequest* r = q_head; r != nullptr; r = r->q_next) {
+      ++len;
       const RequestStatus s = r->status.load(std::memory_order_acquire);
       if (s == RequestStatus::kGranted || s == RequestStatus::kInherited ||
           s == RequestStatus::kConverting) {
-        sup = Supremum(sup, r->mode);
-        if (s != RequestStatus::kConverting) ++granted;
+        if (counts[ModeIdx(r->mode)]++ == 0) mask |= ModeBit(r->mode);
       }
     }
-    granted_mode = sup;
-    granted_count = granted;
+    if (mask != granted_mask || len != queue_len) return false;
+    for (size_t i = 0; i < kNumLockModes; ++i) {
+      if (counts[i] != granted_counts[i]) return false;
+    }
+    return true;
+  }
+
+  /// Rebuild the summary from the queue (test helper; production code keeps
+  /// it incrementally). Caller must hold `latch`.
+  void RecomputeSummaryFromQueue() {
+    for (size_t i = 0; i < kNumLockModes; ++i) granted_counts[i] = 0;
+    granted_mask = 0;
+    uint32_t len = 0;
+    for (LockRequest* r = q_head; r != nullptr; r = r->q_next) {
+      ++len;
+      const RequestStatus s = r->status.load(std::memory_order_acquire);
+      if (s == RequestStatus::kGranted || s == RequestStatus::kInherited ||
+          s == RequestStatus::kConverting) {
+        SummaryAdd(r->mode);
+      }
+    }
+    queue_len = len;
   }
 };
 

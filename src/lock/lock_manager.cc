@@ -8,6 +8,14 @@
 #include "src/stats/profiler.h"
 #include "src/util/time_util.h"
 
+// Debug-mode invariant: the incremental grant summary must equal a full
+// queue recompute after every mutation (head latch held at the check site).
+#ifndef NDEBUG
+#define SLIDB_DCHECK_SUMMARY(h) assert((h)->SummaryMatchesQueue())
+#else
+#define SLIDB_DCHECK_SUMMARY(h) ((void)0)
+#endif
+
 namespace slidb {
 
 namespace {
@@ -15,20 +23,21 @@ namespace {
 /// Maximum hierarchy depth (database → table → page → row).
 constexpr int kMaxDepth = 8;
 
-void WakeOwner(LockRequest* r) {
-  LockClient* cl = r->client.load(std::memory_order_acquire);
-  if (cl != nullptr) cl->Wake();
-}
-
 }  // namespace
+
+void WakeBatch::Flush() {
+  for (size_t i = 0; i < n_; ++i) inline_[i]->Wake();
+  n_ = 0;
+  for (LockClient* c : overflow_) c->Wake();
+  overflow_.clear();
+}
 
 void LockManager::SimulateQueueWork(LockHead* h) {
   if (options_.sim_queue_work_ns == 0) return;
-  // Per-entry cost (see LockManagerOptions::sim_queue_work_ns). The walk
-  // itself mirrors the release-path traversal of Figure 3.
-  uint64_t entries = 0;
-  for (LockRequest* r = h->q_head; r != nullptr; r = r->q_next) ++entries;
-  if (entries == 0) entries = 1;
+  // Per-entry cost (see LockManagerOptions::sim_queue_work_ns), scaled by
+  // the tracked queue length so the model costs what the Figure 3 traversal
+  // would without actually walking inside the latch.
+  const uint64_t entries = h->queue_len > 0 ? h->queue_len : 1;
   SpinForNanos(options_.sim_queue_work_ns * entries);
 }
 
@@ -76,6 +85,7 @@ Status LockManager::LockInternal(LockClient* c, const LockId& id,
       RequestStatus expect = RequestStatus::kInherited;
       if (r->status.compare_exchange_strong(expect, RequestStatus::kGranted,
                                             std::memory_order_acq_rel)) {
+        r->head->inherited_hint.fetch_sub(1, std::memory_order_acq_rel);
         r->client.store(c, std::memory_order_release);
         c->PushHeld(r);
         CountEvent(Counter::kSliReclaimed);
@@ -126,6 +136,27 @@ Status LockManager::EnsureParents(LockClient* c, const LockId& id,
 
 bool LockManager::CanGrant(LockHead* h, const LockRequest* self,
                            LockMode mode) {
+  // O(1) fast path: one AND against the cached held-mode bitset (minus our
+  // own contribution when re-evaluating an existing request).
+  const uint8_t others = h->MaskExcluding(self);
+  if (CompatibleWithAll(others, mode)) {
+    CountEvent(Counter::kCanGrantFast);
+    return true;
+  }
+  // Conflict. If no inherited request can be in the queue there is nothing
+  // to invalidate and the answer is a definitive O(1) "no". The hint is a
+  // conservative overestimate (incremented before a request enters
+  // kInherited, decremented after it leaves), so zero is proof.
+  if (h->inherited_hint.load(std::memory_order_acquire) == 0) {
+    CountEvent(Counter::kCanGrantFast);
+    return false;
+  }
+  CountEvent(Counter::kCanGrantSlow);
+  return CanGrantSlow(h, self, mode);
+}
+
+bool LockManager::CanGrantSlow(LockHead* h, const LockRequest* self,
+                               LockMode mode) {
   LockRequest* r = h->q_head;
   while (r != nullptr) {
     LockRequest* next = r->q_next;
@@ -142,6 +173,8 @@ bool LockManager::CanGrant(LockHead* h, const LockRequest* self,
           if (r->status.compare_exchange_strong(expect, RequestStatus::kInvalid,
                                                 std::memory_order_acq_rel)) {
             h->Unlink(r);
+            h->SummaryRemove(r->mode);
+            h->inherited_hint.fetch_sub(1, std::memory_order_acq_rel);
             table_.Unpin(h);
             CountEvent(Counter::kSliInvalidated);
             // Memory stays with the owning agent; freed at its next commit.
@@ -155,10 +188,11 @@ bool LockManager::CanGrant(LockHead* h, const LockRequest* self,
     }
     r = next;
   }
+  SLIDB_DCHECK_SUMMARY(h);
   return true;
 }
 
-void LockManager::GrantWaiters(LockHead* h) {
+void LockManager::GrantWaiters(LockHead* h, WakeBatch* wakes) {
   // Phase 1: conversions, FIFO among converting requests. A conversion is
   // granted when its target mode is compatible with every other live
   // request.
@@ -166,10 +200,14 @@ void LockManager::GrantWaiters(LockHead* h) {
     const RequestStatus s = r->status.load(std::memory_order_acquire);
     if (s != RequestStatus::kConverting) continue;
     if (CanGrant(h, r, r->convert_to)) {
+      const LockMode was = r->mode;
       r->mode = r->convert_to;
+      h->SummaryUpgrade(was, r->mode);
       r->status.store(RequestStatus::kGranted, std::memory_order_release);
       h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
-      WakeOwner(r);
+      if (LockClient* cl = r->client.load(std::memory_order_acquire)) {
+        wakes->Add(cl);
+      }
     } else {
       break;
     }
@@ -180,13 +218,16 @@ void LockManager::GrantWaiters(LockHead* h) {
     if (s != RequestStatus::kWaiting) continue;
     if (CanGrant(h, r, r->mode)) {
       r->status.store(RequestStatus::kGranted, std::memory_order_release);
+      h->SummaryAdd(r->mode);
       h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
-      WakeOwner(r);
+      if (LockClient* cl = r->client.load(std::memory_order_acquire)) {
+        wakes->Add(cl);
+      }
     } else {
       break;
     }
   }
-  h->RecomputeGrantedMode();
+  SLIDB_DCHECK_SUMMARY(h);
 }
 
 Status LockManager::AcquireNew(LockClient* c, const LockId& id,
@@ -209,8 +250,8 @@ Status LockManager::AcquireNew(LockClient* c, const LockId& id,
   if (grant_now) {
     req->status.store(RequestStatus::kGranted, std::memory_order_release);
     h->Append(req);
-    h->granted_count++;
-    h->granted_mode = Supremum(h->granted_mode, mode);
+    h->SummaryAdd(mode);
+    SLIDB_DCHECK_SUMMARY(h);
     h->latch.Release();
     c->cache().Insert(id, req);
     c->PushHeld(req);
@@ -222,6 +263,7 @@ Status LockManager::AcquireNew(LockClient* c, const LockId& id,
   h->Append(req);
   h->waiter_count.fetch_add(1, std::memory_order_acq_rel);
   c->waiting_on().store(req, std::memory_order_release);
+  SLIDB_DCHECK_SUMMARY(h);
   h->latch.Release();
 
   bool granted_anyway = false;
@@ -244,8 +286,10 @@ Status LockManager::Upgrade(LockClient* c, LockRequest* r, LockMode mode) {
   h->hot.Record(contended);
   SimulateQueueWork(h);
   if (CanGrant(h, r, target)) {
+    const LockMode was = r->mode;
     r->mode = target;
-    h->RecomputeGrantedMode();
+    h->SummaryUpgrade(was, target);
+    SLIDB_DCHECK_SUMMARY(h);
     h->latch.Release();
     return Status::OK();
   }
@@ -294,6 +338,7 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
 
   // Victim or timeout: remove / revert our request under the head latch.
   LockHead* h = r->head;
+  WakeBatch wakes;
   const bool contended = h->latch.Acquire();
   h->hot.Record(contended);
   const RequestStatus s = r->status.load(std::memory_order_acquire);
@@ -310,20 +355,26 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
     return Status::OK();  // timed out but granted: treat as success
   }
   if (s == RequestStatus::kWaiting) {
+    const LockId id = h->id;  // copy under latch: the unpin below can drop
+                              // the last pin, letting the head be reclaimed
+                              // and reused for a different lock
     h->Unlink(r);
     h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
-    GrantWaiters(h);  // our departure may unblock FIFO successors
+    GrantWaiters(h, &wakes);  // our departure may unblock FIFO successors
     h->latch.Release();
+    wakes.Flush();
     table_.Unpin(h);
-    c->cache().Erase(h->id);
+    c->cache().Erase(id);
     c->pool()->Free(r);
   } else {
-    // kConverting: revert to the previously granted mode.
+    // kConverting: revert to the previously granted mode (the summary still
+    // counts the held mode, so it is unchanged).
     r->convert_to = r->mode;
     r->status.store(RequestStatus::kGranted, std::memory_order_release);
     h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
-    GrantWaiters(h);
+    GrantWaiters(h, &wakes);
     h->latch.Release();
+    wakes.Flush();
   }
 
   if (victim) {
@@ -335,8 +386,8 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
   return Status::TimedOut();
 }
 
-void LockManager::ReleaseOne(LockClient* c, LockRequest* r,
-                             RequestPool* pool) {
+void LockManager::ReleaseOne(LockClient* c, LockRequest* r, RequestPool* pool,
+                             WakeBatch* wakes, std::vector<LockId>* reclaims) {
   LockHead* h = r->head;
   const LockId id = h->id;  // copy: head may be reclaimed after unpin
   const bool contended = h->latch.Acquire();
@@ -351,9 +402,22 @@ void LockManager::ReleaseOne(LockClient* c, LockRequest* r,
   }
   SimulateQueueWork(h);
   h->Unlink(r);
-  GrantWaiters(h);  // also recomputes granted_mode / granted_count
+  h->SummaryRemove(r->mode);
+  if (s == RequestStatus::kInherited) {
+    // Discarding an unused inherited request counts as it leaving
+    // kInherited.
+    h->inherited_hint.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  // Only walk the queue when somebody is actually waiting; the common
+  // uncontended release is a pure O(1) summary update.
+  if (h->waiter_count.load(std::memory_order_relaxed) > 0) {
+    GrantWaiters(h, wakes);
+  } else {
+    SLIDB_DCHECK_SUMMARY(h);
+  }
   const bool empty = h->QueueEmpty();
   h->latch.Release();
+  wakes->Flush();
   table_.Unpin(h);
   pool->Free(r);
   CountEvent(Counter::kLockReleases);
@@ -362,7 +426,11 @@ void LockManager::ReleaseOne(LockClient* c, LockRequest* r,
   // there are only O(tables + touched pages) of them.
   if (empty &&
       (id.level == LockLevel::kRow || !options_.retain_high_level_heads)) {
-    table_.TryReclaim(id);
+    if (reclaims != nullptr) {
+      reclaims->push_back(id);
+    } else {
+      table_.TryReclaim(id);
+    }
   }
   (void)c;
 }
@@ -414,6 +482,13 @@ void LockManager::ReleaseAll(LockClient* c, AgentSliState* sli,
   ScopedComponent comp(Component::kLockManager);
   const bool sli_active = allow_inherit && options_.enable_sli && sli != nullptr;
 
+  // Each head latch window shrinks to a single summary update: wakeups are
+  // collected per release and signalled right after that head's latch
+  // drops (never under it), and row-head reclaims are deferred into one
+  // bucket pass at the end instead of per release.
+  WakeBatch wakes;
+  std::vector<LockId> reclaims;
+
   // Phase 1 (SLI bookkeeping): sweep the agent's inheritance list — free
   // invalidated requests, discard (or keep, with hysteresis) inherited
   // requests this transaction never used. Reclaimed ones moved to the
@@ -441,8 +516,25 @@ void LockManager::ReleaseAll(LockClient* c, AgentSliState* sli,
           ++r->sli_miss_count;
           sli->PushInherited(r);  // §4.4 option 2: momentum
         } else {
-          CountEvent(Counter::kSliDiscarded);
-          ReleaseOne(c, r, &sli->pool());
+          // Take the request back to kGranted before touching its head:
+          // while it stays kInherited a concurrent conflicter can
+          // invalidate it, unlinking it and dropping the pin that keeps
+          // the head alive — dereferencing r->head would then race with
+          // head reclaim/reuse. Winning the CAS makes us the owner again
+          // (nobody else transitions out of kGranted), so the linked
+          // request's pin safely carries ReleaseOne.
+          RequestStatus expect = RequestStatus::kInherited;
+          if (r->status.compare_exchange_strong(
+                  expect, RequestStatus::kGranted,
+                  std::memory_order_acq_rel)) {
+            r->head->inherited_hint.fetch_sub(1, std::memory_order_acq_rel);
+            CountEvent(Counter::kSliDiscarded);
+            ReleaseOne(c, r, &sli->pool(), &wakes, &reclaims);
+          } else {
+            // An invalidator won the race; it already unlinked and
+            // unpinned, so only the memory remains to reclaim.
+            sli->pool().Free(r);
+          }
         }
       }
       // kGranted: reclaimed by this transaction; lives in the private list.
@@ -476,6 +568,10 @@ void LockManager::ReleaseAll(LockClient* c, AgentSliState* sli,
       ScopedComponent sli_comp(Component::kSli);
       r->sli_miss_count = 0;
       r->client.store(nullptr, std::memory_order_release);
+      // Raise the hint before the CAS so it can never undercount a request
+      // that is already kInherited (overestimates are harmless: they just
+      // send a conflicting requester down the precise slow path).
+      r->head->inherited_hint.fetch_add(1, std::memory_order_acq_rel);
       RequestStatus expect = RequestStatus::kGranted;
       if (r->status.compare_exchange_strong(expect, RequestStatus::kInherited,
                                             std::memory_order_acq_rel)) {
@@ -483,14 +579,17 @@ void LockManager::ReleaseAll(LockClient* c, AgentSliState* sli,
         CountEvent(Counter::kSliInherited);
       } else {
         // Only the owner transitions out of kGranted; cannot happen.
-        ReleaseOne(c, r, pool);
+        r->head->inherited_hint.fetch_sub(1, std::memory_order_acq_rel);
+        ReleaseOne(c, r, pool, &wakes, &reclaims);
       }
     } else {
-      ReleaseOne(c, r, pool);
+      ReleaseOne(c, r, pool, &wakes, &reclaims);
     }
     r = next;
   }
   c->cache().Clear();
+
+  for (const LockId& id : reclaims) table_.TryReclaim(id);
 }
 
 void LockManager::AdoptInherited(LockClient* c, AgentSliState* sli) {

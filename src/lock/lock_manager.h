@@ -83,6 +83,33 @@ struct LockManagerStats {
   size_t lock_heads = 0;
 };
 
+/// Clients to wake, collected while a head latch is held and drained after
+/// it is released so waiters never wake up into a still-latched head (and
+/// the latch window stays short). Inline storage covers the common case;
+/// deep wake bursts spill to the heap.
+class WakeBatch {
+ public:
+  void Add(LockClient* c) {
+    if (n_ < kInline) {
+      inline_[n_++] = c;
+    } else {
+      overflow_.push_back(c);
+    }
+  }
+
+  /// Wake everything collected so far and reset. Must be called with no
+  /// latches held.
+  void Flush();
+
+  bool empty() const { return n_ == 0; }
+
+ private:
+  static constexpr size_t kInline = 8;
+  LockClient* inline_[kInline];
+  size_t n_ = 0;
+  std::vector<LockClient*> overflow_;
+};
+
 class LockManager {
  public:
   explicit LockManager(LockManagerOptions options = {});
@@ -135,15 +162,27 @@ class LockManager {
   Status WaitForGrant(LockClient* c, LockRequest* r, bool* granted_anyway);
 
   /// True iff `mode` conflicts with no live request other than `self`.
-  /// Invalidates conflicting kInherited requests on the way (head latch
-  /// must be held).
+  /// O(1) against the head's grant summary in the common case; falls back
+  /// to a queue walk only when conflicting kInherited requests may need to
+  /// be invalidated (head latch must be held).
   bool CanGrant(LockHead* h, const LockRequest* self, LockMode mode);
 
-  /// Grant queued conversions then FIFO waiters (head latch must be held).
-  void GrantWaiters(LockHead* h);
+  /// Queue walk behind CanGrant's slow path: precise per-request conflict
+  /// checks plus invalidation of conflicting inherited requests.
+  bool CanGrantSlow(LockHead* h, const LockRequest* self, LockMode mode);
 
-  /// Normal release of one granted request (latches, unlinks, wakes).
-  void ReleaseOne(LockClient* c, LockRequest* r, RequestPool* pool);
+  /// Grant queued conversions then FIFO waiters (head latch must be held).
+  /// Clients to wake are collected into `wakes`; the caller flushes it
+  /// after releasing the latch.
+  void GrantWaiters(LockHead* h, WakeBatch* wakes);
+
+  /// Normal release of one granted request (the discard path re-takes
+  /// ownership via CAS before calling this). Wakeups are collected into
+  /// `wakes` under the latch and flushed after it is released; empty row
+  /// heads are queued on `reclaims` when non-null (batched TryReclaim),
+  /// else reclaimed inline.
+  void ReleaseOne(LockClient* c, LockRequest* r, RequestPool* pool,
+                  WakeBatch* wakes, std::vector<LockId>* reclaims);
 
   /// Charge the simulated per-entry queue cost (head latch must be held).
   void SimulateQueueWork(LockHead* h);

@@ -2,53 +2,6 @@
 
 namespace slidb {
 
-namespace {
-
-constexpr size_t Idx(LockMode m) { return static_cast<size_t>(m); }
-
-// compat[held][requested]
-// held\req        NL IS IX  S SIX  U  X
-constexpr bool kCompat[kNumLockModes][kNumLockModes] = {
-    /* NL  */ {true, true, true, true, true, true, true},
-    /* IS  */ {true, true, true, true, true, true, false},
-    /* IX  */ {true, true, true, false, false, false, false},
-    /* S   */ {true, true, false, true, false, true, false},
-    /* SIX */ {true, true, false, false, false, false, false},
-    /* U   */ {true, true, false, false, false, false, false},
-    /* X   */ {true, false, false, false, false, false, false},
-};
-
-// Supremum lattice: least mode covering both operands.
-constexpr LockMode kSup[kNumLockModes][kNumLockModes] = {
-    /* NL  */ {LockMode::kNL, LockMode::kIS, LockMode::kIX, LockMode::kS,
-               LockMode::kSIX, LockMode::kU, LockMode::kX},
-    /* IS  */ {LockMode::kIS, LockMode::kIS, LockMode::kIX, LockMode::kS,
-               LockMode::kSIX, LockMode::kU, LockMode::kX},
-    /* IX  */ {LockMode::kIX, LockMode::kIX, LockMode::kIX, LockMode::kSIX,
-               LockMode::kSIX, LockMode::kX, LockMode::kX},
-    /* S   */ {LockMode::kS, LockMode::kS, LockMode::kSIX, LockMode::kS,
-               LockMode::kSIX, LockMode::kU, LockMode::kX},
-    /* SIX */ {LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX,
-               LockMode::kSIX, LockMode::kX, LockMode::kX},
-    /* U   */ {LockMode::kU, LockMode::kU, LockMode::kX, LockMode::kU,
-               LockMode::kX, LockMode::kU, LockMode::kX},
-    /* X   */ {LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX,
-               LockMode::kX, LockMode::kX, LockMode::kX},
-};
-
-// covers[held][wanted]: holding `held` makes requesting `wanted` a no-op.
-constexpr bool kCovers[kNumLockModes][kNumLockModes] = {
-    /* NL  */ {true, false, false, false, false, false, false},
-    /* IS  */ {true, true, false, false, false, false, false},
-    /* IX  */ {true, true, true, false, false, false, false},
-    /* S   */ {true, true, false, true, false, false, false},
-    /* SIX */ {true, true, true, true, true, false, false},
-    /* U   */ {true, true, false, true, false, true, false},
-    /* X   */ {true, true, true, true, true, true, true},
-};
-
-}  // namespace
-
 const char* LockModeName(LockMode m) {
   switch (m) {
     case LockMode::kNL: return "NL";
@@ -60,16 +13,6 @@ const char* LockModeName(LockMode m) {
     case LockMode::kX: return "X";
   }
   return "?";
-}
-
-bool Compatible(LockMode held, LockMode requested) {
-  return kCompat[Idx(held)][Idx(requested)];
-}
-
-LockMode Supremum(LockMode a, LockMode b) { return kSup[Idx(a)][Idx(b)]; }
-
-bool Covers(LockMode held, LockMode wanted) {
-  return kCovers[Idx(held)][Idx(wanted)];
 }
 
 LockMode IntentionFor(LockMode m) {

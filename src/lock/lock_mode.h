@@ -1,8 +1,14 @@
 // Hierarchical lock modes (Gray & Reuter) with the asymmetric compatibility
 // matrix, the supremum ("combine") lattice used for upgrades, and the
 // shared-class predicate SLI uses for its eligibility criterion 3.
+//
+// All relations are exposed as constexpr bitmask tables so the lock-manager
+// hot path can test a requested mode against an arbitrary *set* of held
+// modes with a single AND (see DESIGN.md "O(1) conflict detection"):
+//   conflict iff  held_mask & kConflictMask[requested]  is nonzero.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
@@ -22,20 +28,176 @@ enum class LockMode : uint8_t {
 
 inline constexpr size_t kNumLockModes = 7;
 
+constexpr size_t ModeIdx(LockMode m) { return static_cast<size_t>(m); }
+
+/// One-hot bit for a mode, for use in mode-set bitmasks.
+constexpr uint8_t ModeBit(LockMode m) {
+  return static_cast<uint8_t>(1u << ModeIdx(m));
+}
+
+/// Bitmask containing every mode (including kNL).
+inline constexpr uint8_t kAllModesMask = (1u << kNumLockModes) - 1;
+
 const char* LockModeName(LockMode m);
+
+namespace lock_mode_internal {
+
+// compat[held][requested] — the Gray & Reuter matrix, asymmetric in U.
+// held\req        NL IS IX  S SIX  U  X
+inline constexpr bool kCompat[kNumLockModes][kNumLockModes] = {
+    /* NL  */ {true, true, true, true, true, true, true},
+    /* IS  */ {true, true, true, true, true, true, false},
+    /* IX  */ {true, true, true, false, false, false, false},
+    /* S   */ {true, true, false, true, false, true, false},
+    /* SIX */ {true, true, false, false, false, false, false},
+    /* U   */ {true, true, false, false, false, false, false},
+    /* X   */ {true, false, false, false, false, false, false},
+};
+
+// covers[held][wanted]: holding `held` makes requesting `wanted` a no-op.
+inline constexpr bool kCovers[kNumLockModes][kNumLockModes] = {
+    /* NL  */ {true, false, false, false, false, false, false},
+    /* IS  */ {true, true, false, false, false, false, false},
+    /* IX  */ {true, true, true, false, false, false, false},
+    /* S   */ {true, true, false, true, false, false, false},
+    /* SIX */ {true, true, true, true, true, false, false},
+    /* U   */ {true, true, false, true, false, true, false},
+    /* X   */ {true, true, true, true, true, true, true},
+};
+
+constexpr std::array<uint8_t, kNumLockModes> MakeCompatMask() {
+  std::array<uint8_t, kNumLockModes> t{};
+  for (size_t req = 0; req < kNumLockModes; ++req) {
+    uint8_t mask = 0;
+    for (size_t held = 0; held < kNumLockModes; ++held) {
+      if (kCompat[held][req]) mask |= static_cast<uint8_t>(1u << held);
+    }
+    t[req] = mask;
+  }
+  return t;
+}
+
+constexpr std::array<uint8_t, kNumLockModes> MakeCoversMask() {
+  std::array<uint8_t, kNumLockModes> t{};
+  for (size_t held = 0; held < kNumLockModes; ++held) {
+    uint8_t mask = 0;
+    for (size_t wanted = 0; wanted < kNumLockModes; ++wanted) {
+      if (kCovers[held][wanted]) mask |= static_cast<uint8_t>(1u << wanted);
+    }
+    t[held] = mask;
+  }
+  return t;
+}
+
+}  // namespace lock_mode_internal
+
+/// kCompatMask[requested] = bitset of *held* modes compatible with a new
+/// request for `requested` by a different transaction.
+inline constexpr std::array<uint8_t, kNumLockModes> kCompatMask =
+    lock_mode_internal::MakeCompatMask();
+
+/// kCoversMask[held] = bitset of modes a holder of `held` covers.
+inline constexpr std::array<uint8_t, kNumLockModes> kCoversMask =
+    lock_mode_internal::MakeCoversMask();
+
+/// Bitset of held modes that conflict with a new request for `m`.
+constexpr uint8_t ConflictMask(LockMode m) {
+  return static_cast<uint8_t>(~kCompatMask[ModeIdx(m)] & kAllModesMask);
+}
 
 /// True iff a new request for `requested` can be granted while `held` is
 /// granted to a *different* transaction. Asymmetric in U: a held U blocks
 /// new S/U requests, but a held S admits a new U.
-bool Compatible(LockMode held, LockMode requested);
+constexpr bool Compatible(LockMode held, LockMode requested) {
+  return (kCompatMask[ModeIdx(requested)] >> ModeIdx(held)) & 1u;
+}
 
-/// Least mode that covers both `a` and `b`; used for upgrades
-/// (e.g. sup(S, IX) = SIX, sup(U, IX) = X).
-LockMode Supremum(LockMode a, LockMode b);
+/// True iff `requested` is compatible with every mode in `held_mask`
+/// (a bitset of held modes). One AND — the hot-path conflict test.
+constexpr bool CompatibleWithAll(uint8_t held_mask, LockMode requested) {
+  return (held_mask & ConflictMask(requested)) == 0;
+}
 
 /// True iff holding `held` makes a separate request for `wanted` redundant
 /// (e.g. S covers IS and S; X covers everything).
-bool Covers(LockMode held, LockMode wanted);
+constexpr bool Covers(LockMode held, LockMode wanted) {
+  return (kCoversMask[ModeIdx(held)] >> ModeIdx(wanted)) & 1u;
+}
+
+namespace lock_mode_internal {
+
+// Supremum lattice: least mode covering both operands.
+inline constexpr LockMode kSup[kNumLockModes][kNumLockModes] = {
+    /* NL  */ {LockMode::kNL, LockMode::kIS, LockMode::kIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kU, LockMode::kX},
+    /* IS  */ {LockMode::kIS, LockMode::kIS, LockMode::kIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kU, LockMode::kX},
+    /* IX  */ {LockMode::kIX, LockMode::kIX, LockMode::kIX, LockMode::kSIX,
+               LockMode::kSIX, LockMode::kX, LockMode::kX},
+    /* S   */ {LockMode::kS, LockMode::kS, LockMode::kSIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kU, LockMode::kX},
+    /* SIX */ {LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX,
+               LockMode::kSIX, LockMode::kX, LockMode::kX},
+    /* U   */ {LockMode::kU, LockMode::kU, LockMode::kX, LockMode::kU,
+               LockMode::kX, LockMode::kU, LockMode::kX},
+    /* X   */ {LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX,
+               LockMode::kX, LockMode::kX, LockMode::kX},
+};
+
+}  // namespace lock_mode_internal
+
+/// Least mode that covers both `a` and `b`; used for upgrades
+/// (e.g. sup(S, IX) = SIX, sup(U, IX) = X).
+constexpr LockMode Supremum(LockMode a, LockMode b) {
+  return lock_mode_internal::kSup[ModeIdx(a)][ModeIdx(b)];
+}
+
+namespace lock_mode_internal {
+
+constexpr std::array<LockMode, kAllModesMask + 1> MakeSupremumOfMask() {
+  std::array<LockMode, kAllModesMask + 1> t{};
+  for (unsigned mask = 0; mask <= kAllModesMask; ++mask) {
+    LockMode sup = LockMode::kNL;
+    for (size_t m = 0; m < kNumLockModes; ++m) {
+      if ((mask >> m) & 1u) sup = Supremum(sup, static_cast<LockMode>(m));
+    }
+    t[mask] = sup;
+  }
+  return t;
+}
+
+}  // namespace lock_mode_internal
+
+/// kSupremumOfMask[mask] = supremum of every mode in the bitset `mask`
+/// (kNL for the empty set). Turns "recompute the aggregate granted mode"
+/// into a single table lookup.
+inline constexpr std::array<LockMode, kAllModesMask + 1> kSupremumOfMask =
+    lock_mode_internal::MakeSupremumOfMask();
+
+// Compile-time sanity: the lattice agrees with compatibility/covers on the
+// properties the lock manager relies on.
+namespace lock_mode_internal {
+constexpr bool TablesConsistent() {
+  for (size_t a = 0; a < kNumLockModes; ++a) {
+    const auto ma = static_cast<LockMode>(a);
+    if (!Covers(ma, ma)) return false;
+    for (size_t b = 0; b < kNumLockModes; ++b) {
+      const auto mb = static_cast<LockMode>(b);
+      // Supremum commutes and covers both operands.
+      if (Supremum(ma, mb) != Supremum(mb, ma)) return false;
+      if (!Covers(Supremum(ma, mb), ma)) return false;
+      // The mask-based test agrees with the scalar matrix.
+      if (Compatible(ma, mb) != CompatibleWithAll(ModeBit(ma), mb)) {
+        return false;
+      }
+    }
+    // Singleton masks reduce to the mode itself.
+    if (kSupremumOfMask[ModeBit(ma)] != ma) return false;
+  }
+  return kSupremumOfMask[0] == LockMode::kNL;
+}
+static_assert(TablesConsistent(), "lock-mode tables are inconsistent");
+}  // namespace lock_mode_internal
 
 /// Intention mode ancestors must hold before a child can be locked in `m`:
 /// IS for read-class children, IX for anything that may write.

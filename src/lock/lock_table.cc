@@ -4,6 +4,25 @@
 
 namespace slidb {
 
+namespace {
+
+/// Scrub a freelist head back to fresh-construction state. Runs under the
+/// bucket latch with no pins outstanding, so plain stores are safe.
+void ResetHead(LockHead* h, const LockId& id) {
+  h->id = id;
+  for (size_t i = 0; i < kNumLockModes; ++i) h->granted_counts[i] = 0;
+  h->granted_mask = 0;
+  h->queue_len = 0;
+  h->waiter_count.store(0, std::memory_order_relaxed);
+  h->inherited_hint.store(0, std::memory_order_relaxed);
+  h->hot.Clear();
+  h->q_head = h->q_tail = nullptr;
+  h->pin_count.store(1, std::memory_order_relaxed);
+  h->bucket_next = nullptr;
+}
+
+}  // namespace
+
 LockTable::LockTable(size_t num_buckets) {
   if (num_buckets < 2) num_buckets = 2;
   num_buckets = std::bit_ceil(num_buckets);
@@ -13,8 +32,12 @@ LockTable::LockTable(size_t num_buckets) {
 
 LockTable::~LockTable() {
   for (size_t i = 0; i <= bucket_mask_; ++i) {
-    LockHead* h = buckets_[i]->chain;
-    while (h != nullptr) {
+    for (LockHead* h = buckets_[i]->chain; h != nullptr;) {
+      LockHead* next = h->bucket_next;
+      delete h;
+      h = next;
+    }
+    for (LockHead* h = buckets_[i]->free_list; h != nullptr;) {
       LockHead* next = h->bucket_next;
       delete h;
       h = next;
@@ -31,9 +54,17 @@ LockHead* LockTable::FindOrCreate(const LockId& id) {
       return h;
     }
   }
-  auto* h = new LockHead();
-  h->id = id;
-  h->pin_count.store(1, std::memory_order_relaxed);
+  LockHead* h;
+  if (bucket.free_list != nullptr) {
+    h = bucket.free_list;
+    bucket.free_list = h->bucket_next;
+    --bucket.free_count;
+    ResetHead(h, id);
+  } else {
+    h = new LockHead();
+    h->id = id;
+    h->pin_count.store(1, std::memory_order_relaxed);
+  }
   h->bucket_next = bucket.chain;
   bucket.chain = h;
   return h;
@@ -69,7 +100,13 @@ void LockTable::TryReclaim(const LockId& id) {
     } else {
       bucket.chain = h->bucket_next;
     }
-    delete h;
+    if (bucket.free_count < kMaxFreePerBucket) {
+      h->bucket_next = bucket.free_list;
+      bucket.free_list = h;
+      ++bucket.free_count;
+    } else {
+      delete h;
+    }
     return;
   }
 }
@@ -82,6 +119,15 @@ size_t LockTable::CountHeads() {
          h = h->bucket_next) {
       ++count;
     }
+  }
+  return count;
+}
+
+size_t LockTable::FreeListSize() {
+  size_t count = 0;
+  for (size_t i = 0; i <= bucket_mask_; ++i) {
+    SpinLatchGuard g(buckets_[i]->latch);
+    count += buckets_[i]->free_count;
   }
   return count;
 }

@@ -34,9 +34,14 @@ class LockTable {
     head->pin_count.fetch_sub(1, std::memory_order_acq_rel);
   }
 
-  /// Opportunistically free the head for `id` if its queue is empty and
-  /// nobody holds a pin. Safe to call any time; no-ops when in use.
+  /// Opportunistically retire the head for `id` if its queue is empty and
+  /// nobody holds a pin: the head moves to the bucket's freelist (up to
+  /// kMaxFreePerBucket) for allocator-free reuse, else is deleted. Safe to
+  /// call any time; no-ops when in use.
   void TryReclaim(const LockId& id);
+
+  /// Heads currently parked on bucket freelists (stats/tests).
+  size_t FreeListSize();
 
   /// Iterate all heads (deadlock detector, stats). `fn` is invoked with the
   /// head latch held; it must not block or acquire other latches.
@@ -56,9 +61,17 @@ class LockTable {
   size_t CountHeads();
 
  private:
+  /// Row-lock churn creates and retires heads constantly; a small per-bucket
+  /// freelist keeps that traffic off the global allocator (and off its
+  /// lock). Freelist links reuse `bucket_next`; both lists are protected by
+  /// the bucket latch.
+  static constexpr size_t kMaxFreePerBucket = 8;
+
   struct Bucket {
     SpinLatch latch;
     LockHead* chain = nullptr;
+    LockHead* free_list = nullptr;
+    uint32_t free_count = 0;
   };
 
   Bucket& BucketFor(const LockId& id) {

@@ -20,6 +20,8 @@ const char* CounterName(Counter c) {
     case Counter::kLockTimeouts: return "lock.timeouts";
     case Counter::kDeadlocks: return "lock.deadlocks";
     case Counter::kLockReleases: return "lock.releases";
+    case Counter::kCanGrantFast: return "lock.cangrant_fast";
+    case Counter::kCanGrantSlow: return "lock.cangrant_slow";
     case Counter::kAcqRow: return "acq.row";
     case Counter::kAcqHigh: return "acq.high";
     case Counter::kAcqShared: return "acq.shared";

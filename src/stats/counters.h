@@ -21,6 +21,9 @@ enum class Counter : uint32_t {
   kLockTimeouts,
   kDeadlocks,          ///< victims aborted by the detector
   kLockReleases,
+  kCanGrantFast,       ///< conflict checks answered O(1) from the summary
+  kCanGrantSlow,       ///< conflict checks that walked the queue (inherited
+                       ///< invalidation possible)
 
   // -- Figure 8: breakdown of acquired locks --
   kAcqRow,             ///< row-level acquisitions

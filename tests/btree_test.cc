@@ -211,7 +211,9 @@ TEST(BTreeTest, ConcurrentMixedReadersWriters) {
   for (int t = 0; t < 3; ++t) {
     readers.emplace_back([&, t] {
       Rng rng(t);
-      while (!stop.load()) {
+      // A minimum read count guarantees coverage even on a single-CPU host
+      // where the writer can finish before any reader is first scheduled.
+      for (uint64_t i = 0; i < 500 || !stop.load(); ++i) {
         const uint64_t k = rng.Uniform(0, 9998) & ~1ULL;  // existing even key
         uint64_t v;
         ASSERT_TRUE(tree.Lookup(k, &v).ok());

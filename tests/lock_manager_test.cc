@@ -294,6 +294,12 @@ TEST_F(LockManagerTest, ParentCoverageSkipsChildLocks) {
 
 TEST_F(LockManagerTest, HotTrackerMarksContendedHeads) {
   // Hammer one table lock from many threads; its head must become hot.
+  // Simulated queue work stretches the latched window so holders get
+  // preempted mid-hold even on a single-CPU host — without it the critical
+  // section is a few nanoseconds and contention can organically be zero.
+  LockManagerOptions o = FastOptions();
+  o.sim_queue_work_ns = 2'000;
+  LockManager lm(o);
   constexpr int kThreads = 8;
   std::vector<std::unique_ptr<LockClient>> clients;
   for (int i = 0; i < kThreads; ++i)
@@ -304,8 +310,8 @@ TEST_F(LockManagerTest, HotTrackerMarksContendedHeads) {
       LockClient* c = clients[i].get();
       for (int iter = 0; iter < 500; ++iter) {
         c->StartTxn(static_cast<uint64_t>(i) * 10000 + iter + 1, i);
-        ASSERT_TRUE(lm_.Lock(c, LockId::Table(0, 42), LockMode::kIS).ok());
-        lm_.ReleaseAll(c, nullptr, false);
+        ASSERT_TRUE(lm.Lock(c, LockId::Table(0, 42), LockMode::kIS).ok());
+        lm.ReleaseAll(c, nullptr, false);
       }
     });
   }
@@ -314,14 +320,14 @@ TEST_F(LockManagerTest, HotTrackerMarksContendedHeads) {
   // Re-acquire once and inspect the head's tracker.
   LockClient c;
   c.StartTxn(999999, 0);
-  ASSERT_TRUE(lm_.Lock(&c, LockId::Table(0, 42), LockMode::kIS).ok());
+  ASSERT_TRUE(lm.Lock(&c, LockId::Table(0, 42), LockMode::kIS).ok());
   LockRequest* r = c.cache().Find(LockId::Table(0, 42));
   ASSERT_NE(r, nullptr);
   // The head persisted across all 4000 transactions…
   EXPECT_GE(r->head->hot.total_acquires(), 8u * 500u);
   // …and with 8 hammering threads some latch contention is certain.
   EXPECT_GT(r->head->hot.total_contended(), 0u);
-  lm_.ReleaseAll(&c, nullptr, false);
+  lm.ReleaseAll(&c, nullptr, false);
 }
 
 TEST_F(LockManagerTest, ReleaseAllOnEmptyClientIsNoOp) {

@@ -3,6 +3,8 @@
 // predicate SLI relies on.
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "src/lock/lock_id.h"
 #include "src/lock/lock_mode.h"
 
@@ -162,6 +164,92 @@ TEST(LockModeTest, ParentCoverage) {
   EXPECT_FALSE(ParentCoversChild(LockMode::kSIX, LockMode::kX));
   EXPECT_FALSE(ParentCoversChild(LockMode::kIX, LockMode::kS));
   EXPECT_FALSE(ParentCoversChild(LockMode::kIS, LockMode::kS));
+}
+
+// ---- bitmask tables vs the Gray & Reuter reference matrix ----
+
+// Reference compatibility matrix, spelled out independently of the header's
+// tables (Gray & Reuter, Transaction Processing, §7.8, with the asymmetric
+// U treatment): ref[held][requested].
+// held\req            NL     IS     IX     S      SIX    U      X
+const bool kReference[kNumLockModes][kNumLockModes] = {
+    /* NL  */ {true,  true,  true,  true,  true,  true,  true},
+    /* IS  */ {true,  true,  true,  true,  true,  true,  false},
+    /* IX  */ {true,  true,  true,  false, false, false, false},
+    /* S   */ {true,  true,  false, true,  false, true,  false},
+    /* SIX */ {true,  true,  false, false, false, false, false},
+    /* U   */ {true,  true,  false, false, false, false, false},
+    /* X   */ {true,  false, false, false, false, false, false},
+};
+
+TEST(LockModeBitmaskTest, CompatibleMatchesReferenceForAllPairs) {
+  for (LockMode held : kAllModes) {
+    for (LockMode req : kAllModes) {
+      EXPECT_EQ(Compatible(held, req),
+                kReference[ModeIdx(held)][ModeIdx(req)])
+          << "held=" << LockModeName(held) << " req=" << LockModeName(req);
+    }
+  }
+}
+
+TEST(LockModeBitmaskTest, CompatMaskBitsMatchReferenceForAllPairs) {
+  for (LockMode req : kAllModes) {
+    for (LockMode held : kAllModes) {
+      const bool bit = (kCompatMask[ModeIdx(req)] >> ModeIdx(held)) & 1u;
+      EXPECT_EQ(bit, kReference[ModeIdx(held)][ModeIdx(req)])
+          << "held=" << LockModeName(held) << " req=" << LockModeName(req);
+    }
+    // ConflictMask is the exact complement within the mode universe.
+    EXPECT_EQ(ConflictMask(req),
+              static_cast<uint8_t>(~kCompatMask[ModeIdx(req)] & kAllModesMask));
+  }
+}
+
+TEST(LockModeBitmaskTest, CompatibleWithAllMatchesBruteForceForAllMasks) {
+  // Every possible held-mode set × every requested mode: the single-AND
+  // test must agree with checking each member mode individually.
+  for (unsigned mask = 0; mask <= kAllModesMask; ++mask) {
+    for (LockMode req : kAllModes) {
+      bool expect = true;
+      for (LockMode held : kAllModes) {
+        if ((mask >> ModeIdx(held)) & 1u) {
+          expect = expect && kReference[ModeIdx(held)][ModeIdx(req)];
+        }
+      }
+      EXPECT_EQ(CompatibleWithAll(static_cast<uint8_t>(mask), req), expect)
+          << "mask=" << mask << " req=" << LockModeName(req);
+    }
+  }
+}
+
+TEST(LockModeBitmaskTest, SupremumOfMaskMatchesBruteForceForAllMasks) {
+  for (unsigned mask = 0; mask <= kAllModesMask; ++mask) {
+    LockMode expect = LockMode::kNL;
+    for (LockMode m : kAllModes) {
+      if ((mask >> ModeIdx(m)) & 1u) expect = Supremum(expect, m);
+    }
+    EXPECT_EQ(kSupremumOfMask[mask], expect) << "mask=" << mask;
+  }
+}
+
+TEST(LockModeBitmaskTest, CoversMaskAgreesWithCovers) {
+  for (LockMode held : kAllModes) {
+    for (LockMode wanted : kAllModes) {
+      const bool bit = (kCoversMask[ModeIdx(held)] >> ModeIdx(wanted)) & 1u;
+      EXPECT_EQ(bit, Covers(held, wanted))
+          << LockModeName(held) << " / " << LockModeName(wanted);
+    }
+  }
+}
+
+TEST(LockModeBitmaskTest, ModeBitsAreDistinctOneHot) {
+  uint8_t seen = 0;
+  for (LockMode m : kAllModes) {
+    EXPECT_EQ(std::popcount(ModeBit(m)), 1);
+    EXPECT_EQ(seen & ModeBit(m), 0) << LockModeName(m);
+    seen |= ModeBit(m);
+  }
+  EXPECT_EQ(seen, kAllModesMask);
 }
 
 // ---- LockId hierarchy ----

@@ -56,6 +56,59 @@ TEST(LockCacheTest, ClearEmptiesEverything) {
   }
 }
 
+TEST(LockCacheTest, InsertReusesTombstonedSlots) {
+  // Erase/Insert cycles of the same id must not grow the probe chain: the
+  // tombstone left by Erase is reclaimed by the next Insert. Before the
+  // fix, each cycle leaked one tombstone and probe chains (then overflow)
+  // grew monotonically in long-lived agents.
+  LockCache cache;
+  LockRequest r;
+  const LockId id = LockId::Page(0, 7, 11);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    cache.Insert(id, &r);
+    ASSERT_EQ(cache.Find(id), &r);
+    cache.Erase(id);
+    ASSERT_EQ(cache.Find(id), nullptr);
+  }
+  EXPECT_EQ(cache.LiveSlots(), 0u);
+  EXPECT_LE(cache.TombstoneSlots(), 1u);
+  EXPECT_EQ(cache.OverflowSize(), 0u);
+}
+
+TEST(LockCacheTest, TombstoneReuseKeepsCollidingChainsIntact) {
+  // Reusing a tombstone mid-chain must not orphan colliding entries that
+  // probe past it, and must not duplicate a key that lives further along.
+  LockCache cache;
+  LockRequest reqs[64];
+  // Build a dense cluster so several ids share probe paths.
+  for (uint32_t i = 0; i < 64; ++i) {
+    cache.Insert(LockId::Page(0, 3, i), &reqs[i]);
+  }
+  // Punch holes, then insert fresh ids that land in the same cluster.
+  for (uint32_t i = 0; i < 64; i += 4) {
+    cache.Erase(LockId::Page(0, 3, i));
+  }
+  LockRequest fresh[16];
+  for (uint32_t i = 0; i < 16; ++i) {
+    cache.Insert(LockId::Page(0, 99, i), &fresh[i]);
+  }
+  for (uint32_t i = 0; i < 64; ++i) {
+    if (i % 4 == 0) {
+      EXPECT_EQ(cache.Find(LockId::Page(0, 3, i)), nullptr) << i;
+    } else {
+      EXPECT_EQ(cache.Find(LockId::Page(0, 3, i)), &reqs[i]) << i;
+    }
+  }
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(cache.Find(LockId::Page(0, 99, i)), &fresh[i]) << i;
+  }
+  // Updating a key that sits beyond a tombstone must update in place, not
+  // clone into the tombstone.
+  LockRequest updated;
+  cache.Insert(LockId::Page(0, 3, 63), &updated);
+  EXPECT_EQ(cache.Find(LockId::Page(0, 3, 63)), &updated);
+}
+
 TEST(LockCacheTest, DatabaseZeroIdIsNotConfusedWithEmptySlots) {
   // Regression guard: LockId::Database(0) is all-zero fields; lookups for
   // it must not match empty or tombstoned slots.
@@ -156,7 +209,7 @@ TEST(LockHeadTest, QueueAppendUnlinkMaintainsLinks) {
   EXPECT_EQ(head.q_tail, nullptr);
 }
 
-TEST(LockHeadTest, RecomputeGrantedModeAggregates) {
+TEST(LockHeadTest, IncrementalSummaryAggregates) {
   LockHead head;
   LockRequest a, b;
   a.mode = LockMode::kIS;
@@ -164,15 +217,62 @@ TEST(LockHeadTest, RecomputeGrantedModeAggregates) {
   b.mode = LockMode::kIX;
   b.status.store(RequestStatus::kInherited);
   head.Append(&a);
+  head.SummaryAdd(a.mode);
   head.Append(&b);
-  head.RecomputeGrantedMode();
-  EXPECT_EQ(head.granted_mode, LockMode::kIX);  // sup(IS, IX)
-  EXPECT_EQ(head.granted_count, 2u);
+  head.SummaryAdd(b.mode);
+  EXPECT_EQ(head.GrantedMode(), LockMode::kIX);  // sup(IS, IX)
+  EXPECT_EQ(head.granted_mask, ModeBit(LockMode::kIS) | ModeBit(LockMode::kIX));
+  EXPECT_EQ(head.queue_len, 2u);
+  EXPECT_TRUE(head.SummaryMatchesQueue());
 
-  b.status.store(RequestStatus::kWaiting);
-  head.RecomputeGrantedMode();
-  EXPECT_EQ(head.granted_mode, LockMode::kIS);
-  EXPECT_EQ(head.granted_count, 1u);
+  head.Unlink(&b);
+  head.SummaryRemove(b.mode);
+  EXPECT_EQ(head.GrantedMode(), LockMode::kIS);
+  EXPECT_TRUE(head.SummaryMatchesQueue());
+
+  // Upgrade in place: IS → S.
+  head.SummaryUpgrade(a.mode, LockMode::kS);
+  a.mode = LockMode::kS;
+  EXPECT_EQ(head.GrantedMode(), LockMode::kS);
+  EXPECT_TRUE(head.SummaryMatchesQueue());
+}
+
+TEST(LockHeadTest, SummaryCheckerDetectsDrift) {
+  LockHead head;
+  LockRequest a;
+  a.mode = LockMode::kS;
+  a.status.store(RequestStatus::kGranted);
+  head.Append(&a);
+  // Forgot the SummaryAdd: the checker must notice.
+  EXPECT_FALSE(head.SummaryMatchesQueue());
+  head.RecomputeSummaryFromQueue();
+  EXPECT_TRUE(head.SummaryMatchesQueue());
+  EXPECT_EQ(head.GrantedMode(), LockMode::kS);
+}
+
+TEST(LockHeadTest, MaskExcludingRemovesSoleContribution) {
+  LockHead head;
+  LockRequest a, b;
+  a.mode = LockMode::kS;
+  a.status.store(RequestStatus::kGranted);
+  b.mode = LockMode::kIX;
+  b.status.store(RequestStatus::kGranted);
+  head.Append(&a);
+  head.SummaryAdd(a.mode);
+  head.Append(&b);
+  head.SummaryAdd(b.mode);
+  // Excluding `a` leaves only IX; excluding nothing keeps both.
+  EXPECT_EQ(head.MaskExcluding(&a), ModeBit(LockMode::kIX));
+  EXPECT_EQ(head.MaskExcluding(nullptr),
+            ModeBit(LockMode::kS) | ModeBit(LockMode::kIX));
+  // With two S holders, excluding one keeps the S bit set.
+  LockRequest c;
+  c.mode = LockMode::kS;
+  c.status.store(RequestStatus::kGranted);
+  head.Append(&c);
+  head.SummaryAdd(c.mode);
+  EXPECT_EQ(head.MaskExcluding(&a),
+            ModeBit(LockMode::kS) | ModeBit(LockMode::kIX));
 }
 
 }  // namespace

@@ -63,6 +63,30 @@ TEST_P(LockStress, MutualExclusionInvariantHolds) {
   }
 
   std::atomic<uint64_t> next_txn{1};
+
+  // Checker thread: at random checkpoints, assert that every head's
+  // incremental grant summary equals a full-queue recompute (ForEachHead
+  // runs the lambda with the head latch held, so the comparison is exact).
+  std::atomic<bool> done{false};
+  std::atomic<int> summary_mismatches{0};
+  std::atomic<uint64_t> summary_checks{0};
+  std::thread checker([&] {
+    Rng rng(987);
+    // Loop until the workload finishes, then take one guaranteed final
+    // pass — on a single-CPU host the agents can complete before this
+    // thread is first scheduled.
+    for (bool final_pass = false; !final_pass;) {
+      final_pass = done.load(std::memory_order_acquire);
+      lm.table().ForEachHead([&](LockHead* h) {
+        summary_checks.fetch_add(1, std::memory_order_relaxed);
+        if (!h->SummaryMatchesQueue()) {
+          summary_mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      if (!final_pass) SpinForNanos(20'000 + rng.Uniform(0, 200'000));
+    }
+  });
+
   std::vector<std::thread> threads;
   for (int a = 0; a < kAgents; ++a) {
     threads.emplace_back([&, a] {
@@ -111,6 +135,11 @@ TEST_P(LockStress, MutualExclusionInvariantHolds) {
     });
   }
   for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  checker.join();
+  EXPECT_EQ(summary_mismatches.load(), 0)
+      << "incremental grant summary diverged from the queue";
+  EXPECT_GT(summary_checks.load(), 0u);
 
   // Drain all speculation: with SLI disabled the release path discards
   // every parked inherited request.
@@ -126,8 +155,13 @@ TEST_P(LockStress, MutualExclusionInvariantHolds) {
     for (auto& cell : table) total += cell.value;
   }
   EXPECT_EQ(total, expected_total.load());
-  // All queues must be empty at the end.
-  lm.table().ForEachHead([](LockHead* h) { EXPECT_TRUE(h->QueueEmpty()); });
+  // All queues must be empty at the end, with the summaries agreeing.
+  lm.table().ForEachHead([](LockHead* h) {
+    EXPECT_TRUE(h->QueueEmpty());
+    EXPECT_TRUE(h->SummaryMatchesQueue());
+    EXPECT_EQ(h->granted_mask, 0u);
+    EXPECT_EQ(h->inherited_hint.load(), 0u);
+  });
 }
 
 INSTANTIATE_TEST_SUITE_P(
