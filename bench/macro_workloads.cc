@@ -1,0 +1,308 @@
+// Macro benchmark for the decentralized commit pipeline.
+//
+// Section 1 — raw log-append throughput: N writer threads hammering
+// LogManager::Append, latch-free reservation vs the legacy single-latch
+// path. On a many-context machine this shows the append-latch
+// serialization directly; on a single-context host the latch cannot
+// convoy, so treat these as trajectory numbers, not the headline.
+//
+// Section 2 — commit pipeline end-to-end (the headline): TPC-B and the
+// TM1 full mix with a realistic log-device latency charged per flush,
+// comparing the legacy pipeline (latched append + broadcast wakeup +
+// locks held across the durable wait) against the decentralized one
+// (latch-free reservation + consolidated group commit + early lock
+// release). This is where removing the commit I/O from the lock critical
+// path becomes visible at the workload level.
+//
+// Section 3 — SLI matrix: the same workloads through RunWorkload at an
+// agent ladder, SLI off and on, on the new pipeline.
+//
+// Emits a human table on stdout and, with --json=FILE, the
+// BENCH_workloads.json record consumed by CI's bench smoke job.
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fig_common.h"
+#include "src/log/log_manager.h"
+#include "src/util/time_util.h"
+
+namespace slidb::bench {
+namespace {
+
+/// Simulated log-device write latency for the end-to-end sections (a fast
+/// SSD fsync; the paper's methodology of charging latency per I/O).
+constexpr uint64_t kLogIoDelayUs = 100;
+
+struct LogAppendSample {
+  const char* mode;
+  int threads;
+  double appends_per_s = 0;
+  double mb_per_s = 0;
+  uint64_t resv_retries = 0;
+};
+
+LogAppendSample RunLogAppend(LogOptions::AppendMode mode, int threads,
+                             double duration_s) {
+  LogOptions o;
+  o.append_mode = mode;
+  o.flush_interval_us = 10;
+  LogManager log(o);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total{0};
+  std::vector<CounterSet> counters(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ScopedCounterSet routed(&counters[t]);
+      uint8_t payload[96];
+      std::memset(payload, 0x5A, sizeof(payload));
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        log.Append(t + 1, LogRecordType::kUpdate, payload, sizeof(payload));
+        ++n;
+      }
+      total.fetch_add(n, std::memory_order_relaxed);
+    });
+  }
+
+  const uint64_t t0 = NowNanos();
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(duration_s * 1e6)));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const double wall_s = static_cast<double>(NowNanos() - t0) / 1e9;
+
+  LogAppendSample s;
+  s.mode = mode == LogOptions::AppendMode::kReserve ? "reserve" : "latched";
+  s.threads = threads;
+  s.appends_per_s = static_cast<double>(total.load()) / wall_s;
+  s.mb_per_s = s.appends_per_s * (96 + 16) / 1e6;
+  for (const CounterSet& c : counters) {
+    s.resv_retries += c.Get(Counter::kLogResvRetries);
+  }
+  return s;
+}
+
+struct WorkloadSample {
+  std::string workload;
+  std::string config;  ///< "legacy" / "decentralized" / "sli_off" / "sli_on"
+  int agents = 0;
+  double tps = 0;
+  uint64_t commits = 0;
+  uint64_t user_aborts = 0;
+  uint64_t deadlock_aborts = 0;
+  uint64_t lock_waits = 0;
+  uint64_t early_release = 0;
+  uint64_t resv_retries = 0;
+  uint64_t gc_woken = 0;
+  double log_pct = 0;
+};
+
+WorkloadSample RunWorkloadPoint(PaperWorkload& pw, const char* config,
+                                int agents, const BenchArgs& args) {
+  DriverOptions dopts;
+  dopts.num_agents = agents;
+  dopts.duration_s = args.duration_s;
+  dopts.warmup_s = args.warmup_s;
+  dopts.seed = args.seed;
+  const DriverResult r = RunWorkload(*pw.db, *pw.workload, dopts);
+
+  WorkloadSample s;
+  s.workload = pw.label;
+  s.config = config;
+  s.agents = agents;
+  s.tps = r.tps;
+  s.commits = r.commits;
+  s.user_aborts = r.user_aborts;
+  s.deadlock_aborts = r.deadlock_aborts;
+  s.lock_waits = r.counters.Get(Counter::kLockWaits);
+  s.early_release = r.counters.Get(Counter::kTxnEarlyRelease);
+  s.resv_retries = r.counters.Get(Counter::kLogResvRetries);
+  s.gc_woken = r.counters.Get(Counter::kGroupCommitWaitersWoken);
+  s.log_pct = ComputeBreakdown(r.profile).log_pct;
+  return s;
+}
+
+/// A fresh database + loaded workload with the commit pipeline configured
+/// as either "legacy" (single-latch append, broadcast wakeups, locks held
+/// until durable) or "decentralized" (the new defaults).
+std::unique_ptr<PaperWorkload> MakeConfigured(const char* which, bool legacy,
+                                              bool sli, bool quick) {
+  DatabaseOptions o = BenchDbOptions(sli);
+  o.log.simulated_io_delay_us = kLogIoDelayUs;
+  if (legacy) {
+    o.log.append_mode = LogOptions::AppendMode::kLatched;
+    o.log.waiter_policy = LogOptions::WaiterPolicy::kBroadcast;
+    o.txn.early_lock_release = false;
+  }
+  auto pw = std::make_unique<PaperWorkload>();
+  pw->db = std::make_unique<Database>(o);
+  if (std::strcmp(which, "TPC-B") == 0) {
+    pw->label = "TPC-B";
+    TpcbOptions opts;
+    opts.branches = quick ? 4 : 16;
+    opts.tellers_per_branch = 10;
+    opts.accounts_per_branch = quick ? 1'000 : 10'000;
+    pw->workload = std::make_unique<TpcbWorkload>(opts);
+  } else {
+    pw->label = "NDBB-Mix";
+    Tm1Options opts;
+    opts.subscribers = quick ? 2'000 : 20'000;
+    pw->workload = std::make_unique<Tm1Workload>(opts, Tm1Workload::Mix::kFull,
+                                                 Tm1TxnType::kGetSubscriberData);
+  }
+  pw->workload->Load(*pw->db);
+  return pw;
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  const char* kWorkloads[] = {"TPC-B", "NDBB-Mix"};
+
+  std::vector<int> agent_ladder = args.quick ? std::vector<int>{1, 2, 4}
+                                             : std::vector<int>{1, 2, 4, 8};
+  if (args.max_threads > 0) {
+    std::erase_if(agent_ladder, [&](int t) { return t > args.max_threads; });
+    if (agent_ladder.empty()) agent_ladder = {args.max_threads};
+  }
+
+  // ---- Section 1: raw log append, latched vs reserve -----------------------
+  const double append_window = args.quick ? 0.2 : 1.0;
+  std::printf("== raw log append throughput (records/s) ==\n");
+  TablePrinter log_table({"mode", "threads", "appends/s", "MB/s",
+                          "resv_retries"});
+  std::vector<LogAppendSample> log_samples;
+  for (const auto mode : {LogOptions::AppendMode::kLatched,
+                          LogOptions::AppendMode::kReserve}) {
+    for (int threads : agent_ladder) {
+      const LogAppendSample s = RunLogAppend(mode, threads, append_window);
+      log_samples.push_back(s);
+      log_table.Row({s.mode, Fmt("%d", s.threads),
+                     Fmt("%.0f", s.appends_per_s), Fmt("%.1f", s.mb_per_s),
+                     Fmt("%llu",
+                         static_cast<unsigned long long>(s.resv_retries))});
+    }
+  }
+
+  // ---- Section 2: commit pipeline, legacy vs decentralized -----------------
+  std::printf("\n== commit pipeline (%llu us log device, SLI on) ==\n",
+              static_cast<unsigned long long>(kLogIoDelayUs));
+  TablePrinter pipe_table({"workload", "pipeline", "agents", "tps",
+                           "lock_waits", "gc_woken"});
+  std::vector<WorkloadSample> pipe_samples;
+  for (const char* wl : kWorkloads) {
+    for (const bool legacy : {true, false}) {
+      const char* config = legacy ? "legacy" : "decentralized";
+      std::unique_ptr<PaperWorkload> pw =
+          MakeConfigured(wl, legacy, /*sli=*/true, args.quick);
+      for (int agents : agent_ladder) {
+        const WorkloadSample s = RunWorkloadPoint(*pw, config, agents, args);
+        pipe_samples.push_back(s);
+        pipe_table.Row(
+            {s.workload, s.config, Fmt("%d", s.agents), Fmt("%.0f", s.tps),
+             Fmt("%llu", static_cast<unsigned long long>(s.lock_waits)),
+             Fmt("%llu", static_cast<unsigned long long>(s.gc_woken))});
+      }
+    }
+  }
+
+  // ---- Section 3: SLI off/on on the new pipeline ---------------------------
+  std::printf("\n== SLI matrix (decentralized pipeline) ==\n");
+  TablePrinter sli_table({"workload", "sli", "agents", "tps", "commits",
+                          "early_rel"});
+  std::vector<WorkloadSample> sli_samples;
+  for (const char* wl : kWorkloads) {
+    for (const bool sli : {false, true}) {
+      const char* config = sli ? "sli_on" : "sli_off";
+      std::unique_ptr<PaperWorkload> pw =
+          MakeConfigured(wl, /*legacy=*/false, sli, args.quick);
+      for (int agents : agent_ladder) {
+        const WorkloadSample s = RunWorkloadPoint(*pw, config, agents, args);
+        sli_samples.push_back(s);
+        sli_table.Row(
+            {s.workload, sli ? "on" : "off", Fmt("%d", s.agents),
+             Fmt("%.0f", s.tps),
+             Fmt("%llu", static_cast<unsigned long long>(s.commits)),
+             Fmt("%llu", static_cast<unsigned long long>(s.early_release))});
+      }
+    }
+  }
+
+  // Headline: best multi-agent throughput, decentralized over legacy.
+  for (const char* wl : kWorkloads) {
+    double best_legacy = 0, best_new = 0;
+    for (const WorkloadSample& s : pipe_samples) {
+      if (s.workload != wl || s.agents < 2) continue;
+      double& best = s.config == "legacy" ? best_legacy : best_new;
+      if (s.tps > best) best = s.tps;
+    }
+    if (best_legacy > 0) {
+      std::printf("# %s multi-agent peak: decentralized/legacy = %.2fx "
+                  "(%.0f vs %.0f tps)\n",
+                  wl, best_new / best_legacy, best_new, best_legacy);
+    }
+  }
+
+  const auto emit_workload_samples = [](JsonWriter& json,
+                                        const std::vector<WorkloadSample>& v) {
+    for (const WorkloadSample& s : v) {
+      json.BeginObject();
+      json.Key("workload").Value(s.workload);
+      json.Key("config").Value(s.config);
+      json.Key("sli").Value(s.config != "sli_off");
+      json.Key("agents").Value(s.agents);
+      json.Key("tps").Value(s.tps);
+      json.Key("commits").Value(s.commits);
+      json.Key("user_aborts").Value(s.user_aborts);
+      json.Key("deadlock_aborts").Value(s.deadlock_aborts);
+      json.Key("lock_waits").Value(s.lock_waits);
+      json.Key("early_release_commits").Value(s.early_release);
+      json.Key("log_resv_retries").Value(s.resv_retries);
+      json.Key("gc_waiters_woken").Value(s.gc_woken);
+      json.Key("log_pct").Value(s.log_pct);
+      json.EndObject();
+    }
+  };
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("macro_workloads");
+  json.Key("quick").Value(args.quick);
+  json.Key("log_io_delay_us").Value(kLogIoDelayUs);
+  json.Key("log_append").BeginArray();
+  for (const LogAppendSample& s : log_samples) {
+    json.BeginObject();
+    json.Key("mode").Value(s.mode);
+    json.Key("threads").Value(s.threads);
+    json.Key("appends_per_s").Value(s.appends_per_s);
+    json.Key("mb_per_s").Value(s.mb_per_s);
+    json.Key("resv_retries").Value(s.resv_retries);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("commit_pipeline").BeginArray();
+  emit_workload_samples(json, pipe_samples);
+  json.EndArray();
+  json.Key("workloads").BeginArray();
+  emit_workload_samples(json, sli_samples);
+  json.EndArray();
+  json.EndObject();
+  if (!args.json_path.empty()) {
+    if (!json.WriteTo(args.json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slidb::bench
+
+int main(int argc, char** argv) { return slidb::bench::Main(argc, argv); }

@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
-# Runs the lock-manager perf benches and writes machine-readable results so
-# the perf trajectory is tracked across PRs. Usage:
-#   bench/run_benches.sh [build_dir] [output.json] [extra bench args...]
-# Defaults: build/ and BENCH_lockmgr.json in the repo root; pass --quick
-# (default) or longer windows via extra args.
+# Runs the perf benches and writes machine-readable results so the perf
+# trajectory is tracked across PRs. Usage:
+#   bench/run_benches.sh [build_dir] [out_dir] [extra bench args...]
+# Defaults: build/ and the repo root; pass --quick (default) or longer
+# windows via extra args. Produces:
+#   $OUT_DIR/BENCH_lockmgr.json    (micro_grant_path: grant-path latency)
+#   $OUT_DIR/BENCH_workloads.json  (macro_workloads: log append + TPC-B/TM1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_lockmgr.json}"
+OUT_DIR="${2:-.}"
 shift $(( $# > 2 ? 2 : $# )) || true
 EXTRA_ARGS=("${@:-"--quick"}")
 
-if [[ ! -x "$BUILD_DIR/micro_grant_path" ]]; then
-  echo "error: $BUILD_DIR/micro_grant_path not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
-  exit 1
-fi
+for bench in micro_grant_path macro_workloads; do
+  if [[ ! -x "$BUILD_DIR/$bench" ]]; then
+    echo "error: $BUILD_DIR/$bench not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
 
-"$BUILD_DIR/micro_grant_path" "${EXTRA_ARGS[@]}" --json="$OUT"
-echo "bench results written to $OUT"
+"$BUILD_DIR/micro_grant_path" "${EXTRA_ARGS[@]}" --json="$OUT_DIR/BENCH_lockmgr.json"
+"$BUILD_DIR/macro_workloads" "${EXTRA_ARGS[@]}" --json="$OUT_DIR/BENCH_workloads.json"
+echo "bench results written to $OUT_DIR/BENCH_lockmgr.json and $OUT_DIR/BENCH_workloads.json"

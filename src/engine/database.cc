@@ -9,8 +9,8 @@ Database::Database(DatabaseOptions options) : options_(options) {
   buffer_pool_ = std::make_unique<BufferPool>(volume_.get(), options_.buffer);
   log_manager_ = std::make_unique<LogManager>(options_.log);
   lock_manager_ = std::make_unique<LockManager>(options_.lock);
-  txn_manager_ = std::make_unique<TransactionManager>(lock_manager_.get(),
-                                                      log_manager_.get());
+  txn_manager_ = std::make_unique<TransactionManager>(
+      lock_manager_.get(), log_manager_.get(), options_.txn);
 }
 
 TableId Database::CreateTable(const std::string& name) {

@@ -26,6 +26,7 @@ struct DatabaseOptions {
   uint32_t db_id = 0;
   LockManagerOptions lock;
   LogOptions log;
+  TxnOptions txn;
   BufferPoolOptions buffer;
   /// Row-level locking (default). When false, data ops take full-table
   /// S/X locks — the coarse-granularity ablation.

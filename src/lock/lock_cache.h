@@ -15,17 +15,22 @@ namespace slidb {
 /// Open-addressing hash map sized for OLTP transactions (tens of locks).
 /// Spills to a linear-scan overflow vector rather than rehashing so that
 /// entries are stable for the duration of a transaction.
+///
+/// Clear() is O(1): every entry is stamped with the generation it was
+/// written in, and clearing just bumps the cache's generation — stale-
+/// generation slots read as empty. A long-lived agent thus pays per lock
+/// touched, not kSlots per transaction.
 class LockCache {
  public:
   static constexpr size_t kSlots = 256;  // power of two
 
-  LockCache() { Clear(); }
+  LockCache() = default;
 
   LockRequest* Find(const LockId& id) const {
     size_t i = id.Hash() & (kSlots - 1);
     for (size_t probes = 0; probes < kMaxProbes; ++probes) {
       const Entry& e = slots_[i];
-      if (e.req == nullptr) return nullptr;
+      if (Empty(e)) return nullptr;
       if (e.id == id) return e.req;
       i = (i + 1) & (kSlots - 1);
     }
@@ -43,10 +48,11 @@ class LockCache {
     Entry* reuse = nullptr;
     for (size_t probes = 0; probes < kMaxProbes; ++probes) {
       Entry& e = slots_[i];
-      if (e.req == nullptr) {
+      if (Empty(e)) {
         Entry& dst = reuse != nullptr ? *reuse : e;
         dst.id = id;
         dst.req = req;
+        dst.gen = gen_;
         return;
       }
       if (e.id == id) {
@@ -65,9 +71,10 @@ class LockCache {
     if (reuse != nullptr) {
       reuse->id = id;
       reuse->req = req;
+      reuse->gen = gen_;
       return;
     }
-    overflow_.push_back(Entry{id, req});
+    overflow_.push_back(Entry{id, req, gen_});
   }
 
   /// Remove the entry for `id` (used when a reclaim attempt finds the
@@ -77,7 +84,7 @@ class LockCache {
     size_t i = id.Hash() & (kSlots - 1);
     for (size_t probes = 0; probes < kMaxProbes; ++probes) {
       Entry& e = slots_[i];
-      if (e.req == nullptr) return;
+      if (Empty(e)) return;
       if (e.id == id) {
         e.req = kTombstone();
         e.id = TombstoneId();
@@ -93,38 +100,48 @@ class LockCache {
     }
   }
 
+  /// O(1): entries written in earlier generations read as empty.
   void Clear() {
-    for (Entry& e : slots_) e = Entry{};
+    ++gen_;
     overflow_.clear();
   }
 
   // ---- introspection (tests/stats) ----
 
-  /// Slots holding a live entry (tombstones excluded).
+  /// Slots holding a live entry (tombstones and stale generations excluded).
   size_t LiveSlots() const {
     size_t n = 0;
     for (const Entry& e : slots_) {
-      if (e.req != nullptr && e.req != kTombstone()) ++n;
+      if (!Empty(e) && e.req != kTombstone()) ++n;
     }
     return n;
   }
 
-  /// Slots holding a tombstone left behind by Erase.
+  /// Slots holding a current-generation tombstone left behind by Erase.
   size_t TombstoneSlots() const {
     size_t n = 0;
     for (const Entry& e : slots_) {
-      if (e.req == kTombstone()) ++n;
+      if (!Empty(e) && e.req == kTombstone()) ++n;
     }
     return n;
   }
 
   size_t OverflowSize() const { return overflow_.size(); }
 
+  uint64_t generation() const { return gen_; }
+
  private:
   struct Entry {
     LockId id{};
     LockRequest* req = nullptr;
+    uint64_t gen = 0;  ///< generation the entry was written in
   };
+
+  /// A slot is empty if it was never written or was written in a cleared
+  /// (earlier) generation.
+  bool Empty(const Entry& e) const {
+    return e.req == nullptr || e.gen != gen_;
+  }
 
   // A tombstone keeps probe chains intact after Erase. Find() treats it as
   // a mismatch (its id was cleared); Insert() reuses the first tombstone on
@@ -146,6 +163,7 @@ class LockCache {
 
   Entry slots_[kSlots];
   std::vector<Entry> overflow_;
+  uint64_t gen_ = 1;  ///< entries stamped 0 (default) are always empty
 };
 
 }  // namespace slidb

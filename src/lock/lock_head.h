@@ -91,6 +91,17 @@ struct LockHead {
   /// SLI criterion 4, "no other transaction is waiting").
   std::atomic<uint32_t> waiter_count{0};
 
+  /// Waiter boundary: the earliest queue node that may still be in
+  /// kWaiting. Invariant (latched): every kWaiting request sits at or after
+  /// this node, so wakeup scans (GrantWaiters phase 2) start here instead
+  /// of re-walking the granted prefix. nullptr when no request is waiting.
+  LockRequest* waiter_hint = nullptr;
+
+  /// Number of kConverting requests in the queue (subset of waiter_count).
+  /// Conversions live inside the granted prefix, so this is what lets the
+  /// conversion scan be skipped entirely when zero. Protected by `latch`.
+  uint32_t converting_count = 0;
+
   /// Conservative overestimate of the number of kInherited requests in the
   /// queue: incremented *before* the kGranted→kInherited CAS, decremented
   /// *after* a request leaves kInherited (reclaim, invalidate, discard).
@@ -129,6 +140,7 @@ struct LockHead {
   }
 
   void Unlink(LockRequest* r) {
+    if (r == waiter_hint) waiter_hint = r->q_next;
     if (r->q_prev != nullptr) {
       r->q_prev->q_next = r->q_next;
     } else {
@@ -190,14 +202,23 @@ struct LockHead {
     uint16_t counts[kNumLockModes] = {};
     uint8_t mask = 0;
     uint32_t len = 0;
+    uint32_t converting = 0;
+    bool hint_seen = false;
     for (LockRequest* r = q_head; r != nullptr; r = r->q_next) {
       ++len;
+      if (r == waiter_hint) hint_seen = true;
       const RequestStatus s = r->status.load(std::memory_order_acquire);
       if (s == RequestStatus::kGranted || s == RequestStatus::kInherited ||
           s == RequestStatus::kConverting) {
         if (counts[ModeIdx(r->mode)]++ == 0) mask |= ModeBit(r->mode);
       }
+      if (s == RequestStatus::kConverting) ++converting;
+      // Waiter-boundary invariant: no kWaiting request before the hint
+      // (an unset hint means no request may be waiting at all).
+      if (s == RequestStatus::kWaiting && !hint_seen) return false;
     }
+    if (waiter_hint != nullptr && !hint_seen) return false;  // dangling hint
+    if (converting != converting_count) return false;
     if (mask != granted_mask || len != queue_len) return false;
     for (size_t i = 0; i < kNumLockModes; ++i) {
       if (counts[i] != granted_counts[i]) return false;
@@ -210,6 +231,8 @@ struct LockHead {
   void RecomputeSummaryFromQueue() {
     for (size_t i = 0; i < kNumLockModes; ++i) granted_counts[i] = 0;
     granted_mask = 0;
+    converting_count = 0;
+    waiter_hint = nullptr;
     uint32_t len = 0;
     for (LockRequest* r = q_head; r != nullptr; r = r->q_next) {
       ++len;
@@ -217,6 +240,10 @@ struct LockHead {
       if (s == RequestStatus::kGranted || s == RequestStatus::kInherited ||
           s == RequestStatus::kConverting) {
         SummaryAdd(r->mode);
+      }
+      if (s == RequestStatus::kConverting) ++converting_count;
+      if (s == RequestStatus::kWaiting && waiter_hint == nullptr) {
+        waiter_hint = r;
       }
     }
     queue_len = len;

@@ -195,38 +195,49 @@ bool LockManager::CanGrantSlow(LockHead* h, const LockRequest* self,
 void LockManager::GrantWaiters(LockHead* h, WakeBatch* wakes) {
   // Phase 1: conversions, FIFO among converting requests. A conversion is
   // granted when its target mode is compatible with every other live
-  // request.
-  for (LockRequest* r = h->q_head; r != nullptr; r = r->q_next) {
-    const RequestStatus s = r->status.load(std::memory_order_acquire);
-    if (s != RequestStatus::kConverting) continue;
-    if (CanGrant(h, r, r->convert_to)) {
-      const LockMode was = r->mode;
-      r->mode = r->convert_to;
-      h->SummaryUpgrade(was, r->mode);
-      r->status.store(RequestStatus::kGranted, std::memory_order_release);
-      h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
-      if (LockClient* cl = r->client.load(std::memory_order_acquire)) {
-        wakes->Add(cl);
+  // request. Conversions live inside the granted prefix, so this scan is
+  // skipped entirely (O(1)) unless one is actually pending.
+  if (h->converting_count > 0) {
+    uint32_t remaining = h->converting_count;
+    for (LockRequest* r = h->q_head; r != nullptr && remaining > 0;
+         r = r->q_next) {
+      const RequestStatus s = r->status.load(std::memory_order_acquire);
+      if (s != RequestStatus::kConverting) continue;
+      --remaining;
+      if (CanGrant(h, r, r->convert_to)) {
+        const LockMode was = r->mode;
+        r->mode = r->convert_to;
+        h->SummaryUpgrade(was, r->mode);
+        r->status.store(RequestStatus::kGranted, std::memory_order_release);
+        --h->converting_count;
+        h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+        if (LockClient* cl = r->client.load(std::memory_order_acquire)) {
+          wakes->Add(cl);
+        }
+      } else {
+        break;
       }
-    } else {
-      break;
     }
   }
-  // Phase 2: new requests, strict FIFO.
-  for (LockRequest* r = h->q_head; r != nullptr; r = r->q_next) {
+  // Phase 2: new requests, strict FIFO, starting at the waiter boundary —
+  // the granted prefix ahead of it is never re-walked. Nodes past the hint
+  // that were granted by earlier passes are skipped without resetting it.
+  LockRequest* r = h->waiter_hint;
+  while (r != nullptr) {
     const RequestStatus s = r->status.load(std::memory_order_acquire);
-    if (s != RequestStatus::kWaiting) continue;
-    if (CanGrant(h, r, r->mode)) {
+    if (s == RequestStatus::kWaiting) {
+      if (!CanGrant(h, r, r->mode)) break;
       r->status.store(RequestStatus::kGranted, std::memory_order_release);
       h->SummaryAdd(r->mode);
       h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
       if (LockClient* cl = r->client.load(std::memory_order_acquire)) {
         wakes->Add(cl);
       }
-    } else {
-      break;
     }
+    r = r->q_next;
   }
+  // `r` is the first still-waiting request (FIFO stop) or nullptr.
+  h->waiter_hint = r;
   SLIDB_DCHECK_SUMMARY(h);
 }
 
@@ -261,6 +272,7 @@ Status LockManager::AcquireNew(LockClient* c, const LockId& id,
   CountEvent(Counter::kLockWaits);
   req->status.store(RequestStatus::kWaiting, std::memory_order_release);
   h->Append(req);
+  if (h->waiter_hint == nullptr) h->waiter_hint = req;
   h->waiter_count.fetch_add(1, std::memory_order_acq_rel);
   c->waiting_on().store(req, std::memory_order_release);
   SLIDB_DCHECK_SUMMARY(h);
@@ -297,6 +309,7 @@ Status LockManager::Upgrade(LockClient* c, LockRequest* r, LockMode mode) {
   CountEvent(Counter::kLockWaits);
   r->convert_to = target;
   r->status.store(RequestStatus::kConverting, std::memory_order_release);
+  ++h->converting_count;
   h->waiter_count.fetch_add(1, std::memory_order_acq_rel);
   c->waiting_on().store(r, std::memory_order_release);
   h->latch.Release();
@@ -371,6 +384,7 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
     // counts the held mode, so it is unchanged).
     r->convert_to = r->mode;
     r->status.store(RequestStatus::kGranted, std::memory_order_release);
+    --h->converting_count;
     h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
     GrantWaiters(h, &wakes);
     h->latch.Release();

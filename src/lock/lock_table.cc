@@ -14,6 +14,8 @@ void ResetHead(LockHead* h, const LockId& id) {
   h->granted_mask = 0;
   h->queue_len = 0;
   h->waiter_count.store(0, std::memory_order_relaxed);
+  h->waiter_hint = nullptr;
+  h->converting_count = 0;
   h->inherited_hint.store(0, std::memory_order_relaxed);
   h->hot.Clear();
   h->q_head = h->q_tail = nullptr;

@@ -1,14 +1,31 @@
 #include "src/log/log_manager.h"
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cstring>
 
+#include "src/stats/counters.h"
 #include "src/stats/profiler.h"
 #include "src/util/time_util.h"
 
 namespace slidb {
 
-LogManager::LogManager(LogOptions options) : options_(options) {
+LogManager::LogManager(LogOptions options) : options_(std::move(options)) {
   ring_ = std::make_unique<uint8_t[]>(options_.buffer_bytes);
+  const size_t want_slots = options_.reservation_slots != 0
+                                ? options_.reservation_slots
+                                : options_.buffer_bytes / 128;
+  // Upper bound 2^19: the slot count must stay strictly below the 2^20
+  // seq-tag space or a round's tag becomes indistinguishable from the
+  // same residue one wrap later (see kSeqMask).
+  const size_t slots =
+      std::bit_ceil(std::clamp<size_t>(want_slots, 2, size_t{1} << 19));
+  slot_mask_ = slots - 1;
+  slots_ = std::make_unique<PublishSlot[]>(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    slots_[i].tag.store(i, std::memory_order_relaxed);  // free for round 0
+  }
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
 
@@ -21,53 +38,109 @@ LogManager::~LogManager() {
   if (flusher_.joinable()) flusher_.join();
 }
 
+void LogManager::CopyIntoRing(Lsn at, const void* src, size_t len) {
+  const size_t cap = options_.buffer_bytes;
+  const size_t pos = static_cast<size_t>(at % cap);
+  const size_t first = std::min(len, cap - pos);
+  std::memcpy(ring_.get() + pos, src, first);
+  if (first < len) {
+    std::memcpy(ring_.get(), static_cast<const uint8_t*>(src) + first,
+                len - first);
+  }
+}
+
+void LogManager::BackpressurePause() {
+  CountEvent(Counter::kLogResvRetries);
+  flush_cv_.notify_one();
+  const uint64_t t0 = RdCycles();
+  std::this_thread::yield();
+  if (ThreadProfile* p = ThreadProfile::Current()) {
+    p->AttributeBlocked(t0, RdCycles());
+  }
+}
+
 Lsn LogManager::Append(uint64_t txn_id, LogRecordType type,
                        const void* payload, uint32_t payload_len) {
   ScopedComponent comp(Component::kLog);
   const size_t total = sizeof(RecordHeader) + payload_len;
-  const size_t cap = options_.buffer_bytes;
+  assert(total <= options_.buffer_bytes);
 
-  append_latch_.Acquire();
-  // Wait for ring space: bytes in flight may not exceed capacity.
-  while (appended_lsn_.load(std::memory_order_relaxed) + total -
-             durable_lsn_.load(std::memory_order_acquire) >
-         cap) {
-    append_latch_.Release();
-    flush_cv_.notify_one();
-    const uint64_t t0 = RdCycles();
-    std::this_thread::yield();
-    if (ThreadProfile* p = ThreadProfile::Current()) {
-      p->AttributeBlocked(t0, RdCycles());
-    }
-    append_latch_.Acquire();
-  }
-
-  const Lsn start = appended_lsn_.load(std::memory_order_relaxed);
   RecordHeader hdr{};
   hdr.payload_len = payload_len;
   hdr.type = static_cast<uint8_t>(type);
   hdr.txn_id = txn_id;
 
-  // Copy header + payload into the ring, handling wrap-around.
-  auto copy_into_ring = [&](Lsn at, const void* src, size_t len) {
-    const size_t pos = static_cast<size_t>(at % cap);
-    const size_t first = std::min(len, cap - pos);
-    std::memcpy(ring_.get() + pos, src, first);
-    if (first < len) {
-      std::memcpy(ring_.get(), static_cast<const uint8_t*>(src) + first,
-                  len - first);
-    }
-  };
-  copy_into_ring(start, &hdr, sizeof(hdr));
-  if (payload_len > 0) {
-    copy_into_ring(start + sizeof(hdr), payload, payload_len);
+  if (options_.append_mode == LogOptions::AppendMode::kLatched) {
+    return AppendLatched(hdr, payload, total);
+  }
+  return AppendReserve(hdr, payload, total);
+}
+
+Lsn LogManager::AppendReserve(const RecordHeader& hdr, const void* payload,
+                              size_t total) {
+  // One fetch-add claims both the byte range [start, end) and the record's
+  // publish-slot sequence number; LSN order and slot order can never
+  // diverge. No ordering is published here — the record becomes visible
+  // only through the slot release-store below.
+  const uint64_t ticket = ticket_.fetch_add(
+      (uint64_t{1} << kSeqShift) + total, std::memory_order_relaxed);
+  const Lsn start = ticket & kOffsetMask;
+  const uint64_t seq = ticket >> kSeqShift;
+  const Lsn end = start + total;
+  const size_t cap = options_.buffer_bytes;
+
+  // Ring-space backpressure: our bytes may only be written once everything
+  // they would overwrite is durable. Earlier reservations never depend on
+  // later ones, so the earliest unfilled writer can always make progress
+  // and the wait is deadlock-free.
+  while (end - durable_lsn_.load(std::memory_order_acquire) > cap) {
+    BackpressurePause();
+  }
+  // Slot backpressure: at most `reservation_slots` records in flight. The
+  // slot is ours only once its previous-round occupant was consumed (tag
+  // values at this index move seq → seq+1 → seq+slots → ... in modular seq
+  // space, so an unfilled predecessor and an unconsumed one both read as
+  // "not our turn"). Rather than waiting on the flusher's cadence, help
+  // drain the publish queue ourselves (cooperative consume); when that
+  // makes no progress (consumer busy, or an unfilled predecessor stalls
+  // the queue) back off so the stalled writer can run.
+  PublishSlot& slot = slots_[seq & slot_mask_];
+  while (slot.tag.load(std::memory_order_acquire) != (seq & kSeqMask)) {
+    if (!TryAdvanceWatermark()) BackpressurePause();
   }
 
-  const Lsn end = start + total;
-  appended_lsn_.store(end, std::memory_order_release);
+  CopyIntoRing(start, &hdr, sizeof(hdr));
+  if (hdr.payload_len > 0) {
+    CopyIntoRing(start + sizeof(hdr), payload, hdr.payload_len);
+  }
   records_.fetch_add(1, std::memory_order_relaxed);
-  append_latch_.Release();
+  slot.end = end;
+  // Publish: the release pairs with the flusher's acquire tag load, making
+  // `end` and the ring bytes visible before the watermark can cover them.
+  slot.tag.store((seq + 1) & kSeqMask, std::memory_order_release);
   return end;
+}
+
+Lsn LogManager::AppendLatched(const RecordHeader& hdr, const void* payload,
+                              size_t total) {
+  const size_t cap = options_.buffer_bytes;
+  append_latch_.Acquire();
+  while (watermark_.load(std::memory_order_relaxed) + total -
+             durable_lsn_.load(std::memory_order_acquire) >
+         cap) {
+    append_latch_.Release();
+    BackpressurePause();
+    append_latch_.Acquire();
+  }
+  const Lsn start = watermark_.load(std::memory_order_relaxed);
+  CopyIntoRing(start, &hdr, sizeof(hdr));
+  if (hdr.payload_len > 0) {
+    CopyIntoRing(start + sizeof(hdr), payload, hdr.payload_len);
+  }
+  records_.fetch_add(1, std::memory_order_relaxed);
+  watermark_.store(start + total, std::memory_order_release);
+  append_latch_.Release();
+  return start + total;
 }
 
 void LogManager::WaitDurable(Lsn lsn) {
@@ -76,15 +149,138 @@ void LogManager::WaitDurable(Lsn lsn) {
 
   ScopedComponent comp(Component::kLog);
   const uint64_t t0 = RdCycles();
-  {
+  if (options_.waiter_policy == LogOptions::WaiterPolicy::kBroadcast) {
     std::unique_lock<std::mutex> lk(flush_mu_);
     flush_cv_.notify_one();
     durable_cv_.wait(lk, [&] {
       return durable_lsn_.load(std::memory_order_acquire) >= lsn || stop_;
     });
+  } else {
+    // One node per thread: after the flusher sets `done` it drops every
+    // reference, so returning (and later re-pushing the same node) is safe.
+    // A stale notify from a previous use only causes a spurious wake, which
+    // the done-flag recheck absorbs.
+    thread_local CommitWaiter node;
+    node.lsn = lsn;
+    node.done.store(false, std::memory_order_relaxed);
+    CommitWaiter* head = waiters_.load(std::memory_order_relaxed);
+    do {
+      node.next = head;
+    } while (!waiters_.compare_exchange_weak(head, &node,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+    // Kick the flusher: it settles the waiter list on every pass, so a push
+    // that races a concurrent settle is picked up by the pass this notify
+    // (or the periodic timeout) triggers.
+    flush_cv_.notify_one();
+    while (!node.done.load(std::memory_order_acquire)) {
+      node.done.wait(false, std::memory_order_acquire);
+    }
+    CountEvent(Counter::kGroupCommitWaitersWoken);
   }
   if (ThreadProfile* p = ThreadProfile::Current()) {
     p->AttributeBlocked(t0, RdCycles());
+  }
+}
+
+bool LogManager::AdvanceWatermarkLocked() {
+  Lsn w = watermark_.load(std::memory_order_relaxed);
+  bool advanced = false;
+  for (;;) {
+    PublishSlot& slot = slots_[next_seq_ & slot_mask_];
+    if (slot.tag.load(std::memory_order_acquire) !=
+        ((next_seq_ + 1) & kSeqMask)) {
+      break;
+    }
+    w = slot.end;
+    // Re-arming the tag readmits the writer of the next round through this
+    // slot; the release pairs with that writer's acquire spin.
+    slot.tag.store((next_seq_ + slot_mask_ + 1) & kSeqMask,
+                   std::memory_order_release);
+    ++next_seq_;
+    advanced = true;
+  }
+  if (advanced) watermark_.store(w, std::memory_order_release);
+  return advanced;
+}
+
+bool LogManager::TryAdvanceWatermark() {
+  if (!publish_latch_.TryAcquire()) return false;
+  const bool advanced = AdvanceWatermarkLocked();
+  publish_latch_.Release();
+  return advanced;
+}
+
+void LogManager::EmitToSink(Lsn from, Lsn to) {
+  if (!options_.flush_sink) return;
+  const size_t cap = options_.buffer_bytes;
+  while (from < to) {
+    const size_t pos = static_cast<size_t>(from % cap);
+    const size_t len = static_cast<size_t>(
+        std::min<uint64_t>(to - from, cap - pos));
+    options_.flush_sink(ring_.get() + pos, len, from);
+    from += len;
+  }
+}
+
+void LogManager::SettleWaiters(bool shutdown) {
+  // Claim every newly pushed node and fold it into the flusher-private
+  // pending list (only this thread ever walks `pending_`).
+  CommitWaiter* incoming = waiters_.exchange(nullptr, std::memory_order_acquire);
+  while (incoming != nullptr) {
+    CommitWaiter* next = incoming->next;
+    incoming->next = pending_;
+    pending_ = incoming;
+    incoming = next;
+  }
+  const Lsn durable = durable_lsn_.load(std::memory_order_relaxed);
+  CommitWaiter** pp = &pending_;
+  while (*pp != nullptr) {
+    CommitWaiter* w = *pp;
+    if (shutdown || w->lsn <= durable) {
+      *pp = w->next;
+      w->next = nullptr;
+      // After this store the node belongs to its owner thread again.
+      w->done.store(true, std::memory_order_release);
+      w->done.notify_one();
+    } else {
+      pp = &w->next;
+    }
+  }
+}
+
+void LogManager::FlushOnce() {
+  publish_latch_.Acquire();
+  AdvanceWatermarkLocked();
+  publish_latch_.Release();
+  const Lsn target = watermark_.load(std::memory_order_acquire);
+  if (target != durable_lsn_.load(std::memory_order_relaxed)) {
+    // "Write" the batch: the data is already in memory (our in-memory log
+    // device); hand it to the sink if one is installed and charge the
+    // configured per-I/O latency. The device write is asynchronous (DMA)
+    // on real hardware, so the latency is charged as flusher sleep — the
+    // agent threads keep the CPU while the I/O is in flight. Durability
+    // advances only afterwards.
+    EmitToSink(durable_lsn_.load(std::memory_order_relaxed), target);
+    if (options_.simulated_io_delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.simulated_io_delay_us));
+    }
+    if (options_.waiter_policy == LogOptions::WaiterPolicy::kBroadcast) {
+      // The mutex orders the durable-LSN store against a committer's
+      // predicate check, closing the classic lost-wakeup window.
+      {
+        std::lock_guard<std::mutex> g(flush_mu_);
+        durable_lsn_.store(target, std::memory_order_release);
+      }
+      durable_cv_.notify_all();
+    } else {
+      durable_lsn_.store(target, std::memory_order_release);
+    }
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (options_.waiter_policy == LogOptions::WaiterPolicy::kConsolidated) {
+    SettleWaiters(/*shutdown=*/false);
   }
 }
 
@@ -94,29 +290,28 @@ void LogManager::FlusherLoop() {
     flush_cv_.wait_for(lk,
                        std::chrono::microseconds(options_.flush_interval_us));
     if (stop_) break;
-    const Lsn target = appended_lsn_.load(std::memory_order_acquire);
-    if (target == durable_lsn_.load(std::memory_order_relaxed)) continue;
-
-    // "Write" the batch: the data is already in memory (our in-memory log
-    // device); charge the configured per-I/O latency.
-    if (options_.simulated_io_delay_us > 0) {
-      lk.unlock();
-      SpinForNanos(options_.simulated_io_delay_us * 1000);
-      lk.lock();
-    }
-    durable_lsn_.store(target, std::memory_order_release);
-    flushes_.fetch_add(1, std::memory_order_relaxed);
-    durable_cv_.notify_all();
+    lk.unlock();
+    FlushOnce();
+    lk.lock();
   }
-  // Drain on shutdown so no committer hangs.
-  durable_lsn_.store(appended_lsn_.load(std::memory_order_acquire),
-                     std::memory_order_release);
+  lk.unlock();
+  // Drain on shutdown: harden whatever is completely published, then
+  // release every committer so nobody hangs.
+  FlushOnce();
+  SettleWaiters(/*shutdown=*/true);
   durable_cv_.notify_all();
+}
+
+Lsn LogManager::reserved_lsn() const {
+  const Lsn reserved =
+      ticket_.load(std::memory_order_acquire) & kOffsetMask;
+  return std::max(reserved, watermark_.load(std::memory_order_acquire));
 }
 
 LogStats LogManager::Stats() const {
   LogStats s;
-  s.appended_bytes = appended_lsn_.load(std::memory_order_relaxed);
+  s.appended_bytes = watermark_.load(std::memory_order_relaxed);
+  s.reserved_bytes = reserved_lsn();
   s.records = records_.load(std::memory_order_relaxed);
   s.flushes = flushes_.load(std::memory_order_relaxed);
   return s;

@@ -1,13 +1,25 @@
-// Write-ahead log with group commit. A single append latch serializes
-// writers into a circular buffer; a flusher thread advances the durable LSN
-// in batches (optionally paying a simulated I/O delay, reproducing the
-// paper's methodology of charging latency per I/O against an in-memory
-// device). Committers block until their commit record is durable.
+// Write-ahead log with a decentralized commit pipeline.
+//
+// Append path (default): writers claim log space with a single atomic
+// fetch-add on a packed (record-seq, byte-offset) ticket — no latch — fill
+// their bytes in the ring, then publish the record through a per-slot
+// "filled" watermark. The flusher advances the contiguous-filled watermark
+// over completed records in LSN order, hardens [durable, watermark) (paying
+// an optional simulated device latency), and advances the durable LSN.
+//
+// Commit path (default): committers enqueue a {lsn, flag} node on a
+// latch-free stack; the flusher wakes exactly the waiters whose records it
+// just made durable (consolidated group commit) instead of broadcasting to
+// every committer on every flush.
+//
+// The legacy single-latch append and broadcast-condvar wakeup are retained
+// behind LogOptions knobs as the measured baseline (bench/macro_workloads).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -40,11 +52,43 @@ struct LogOptions {
   /// When false, WaitDurable returns immediately (for lock-bound
   /// microbenchmarks that want the log out of the picture).
   bool durable_commit = true;
+
+  enum class AppendMode : uint8_t {
+    kReserve,  ///< latch-free ring-space reservation (default)
+    kLatched,  ///< legacy single append latch (bench baseline)
+  };
+  AppendMode append_mode = AppendMode::kReserve;
+
+  /// Bound on reserved-but-unconsumed records in flight (rounded up to a
+  /// power of two, clamped to [2, 2^19] — strictly below the 2^20 seq-tag
+  /// space so slot tags stay unambiguous). Sizes the publish-slot array; a
+  /// writer whose slot is still occupied helps consume the publish queue
+  /// and otherwise waits (slot backpressure). 0 = auto: scale with the
+  /// ring (buffer_bytes / 128) so the in-flight runway covers a scheduler
+  /// quantum even when one writer is preempted mid-fill.
+  size_t reservation_slots = 0;
+
+  enum class WaiterPolicy : uint8_t {
+    kConsolidated,  ///< per-committer nodes; flusher wakes exactly the
+                    ///< waiters whose LSN just became durable (default)
+    kBroadcast,     ///< legacy shared condvar, notify_all per flush
+  };
+  WaiterPolicy waiter_policy = WaiterPolicy::kConsolidated;
+
+  /// Device-write hook: the flusher calls it for each contiguous byte range
+  /// as the range becomes durable (ring wrap may split one flush into two
+  /// calls; `start_lsn` is the log offset of `data[0]`). Tests use it to
+  /// capture and verify the exact durable byte stream; it also gates
+  /// durability (the durable LSN only advances after the sink returns).
+  /// Called from the flusher thread with no internal locks held.
+  std::function<void(const uint8_t* data, size_t len, Lsn start_lsn)>
+      flush_sink;
 };
 
 /// Statistics snapshot.
 struct LogStats {
-  uint64_t appended_bytes = 0;
+  uint64_t appended_bytes = 0;  ///< published (contiguously filled) bytes
+  uint64_t reserved_bytes = 0;  ///< claimed bytes, filled or not
   uint64_t records = 0;
   uint64_t flushes = 0;
 };
@@ -57,8 +101,8 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  /// Append one record; returns its LSN. Blocks if the ring is full until
-  /// the flusher frees space.
+  /// Append one record; returns its end LSN. May block (ring-space or
+  /// publish-slot backpressure) until the flusher frees space.
   Lsn Append(uint64_t txn_id, LogRecordType type, const void* payload,
              uint32_t payload_len);
 
@@ -66,9 +110,14 @@ class LogManager {
   void WaitDurable(Lsn lsn);
 
   Lsn durable_lsn() const { return durable_lsn_.load(std::memory_order_acquire); }
+  /// End of the contiguously *published* prefix (every record below it is
+  /// completely filled; the flusher may harden up to here).
   Lsn appended_lsn() const {
-    return appended_lsn_.load(std::memory_order_acquire);
+    return watermark_.load(std::memory_order_acquire);
   }
+  /// End of the *reserved* prefix (claimed by writers, possibly still being
+  /// filled). reserved_lsn() >= appended_lsn() >= durable_lsn().
+  Lsn reserved_lsn() const;
 
   LogStats Stats() const;
 
@@ -81,20 +130,86 @@ class LogManager {
   };
   static_assert(sizeof(RecordHeader) == 16);
 
+  /// One committer waiting for its commit record to harden. Nodes are
+  /// thread-local (one outstanding WaitDurable per thread) and pushed onto
+  /// `waiters_` latch-free; the flusher owns them until it sets `done`.
+  struct CommitWaiter {
+    Lsn lsn = 0;
+    std::atomic<bool> done{false};
+    CommitWaiter* next = nullptr;
+  };
+
+  // Reservation ticket layout: low kSeqShift bits = byte offset (16 TB of
+  // log — the documented capacity limit), high 20 bits = record sequence
+  // number. One fetch-add claims both, so slot order always equals LSN
+  // order. The sequence number wraps modulo 2^20; all tag comparisons are
+  // therefore performed in that modular space (kSeqMask), which is
+  // unambiguous because at most `reservation_slots` (< 2^20 by the ctor
+  // clamp, in practice a live thread each) appends are ever in flight
+  // between two uses of the same residue.
+  static constexpr int kSeqShift = 44;
+  static constexpr uint64_t kOffsetMask = (uint64_t{1} << kSeqShift) - 1;
+  static constexpr uint64_t kSeqMask = (uint64_t{1} << (64 - kSeqShift)) - 1;
+
+  /// One publish slot (bounded-MPMC style). `tag` sequences ownership in
+  /// modular seq space: a writer with record seq `s` may fill the slot only
+  /// when tag == s (stores tag = s + 1 after writing `end`); the flusher
+  /// consumes when tag == s + 1 and re-arms with tag = s + slots,
+  /// readmitting the writer of the next round. The tag's release/acquire
+  /// pairs order the plain `end` field and the ring bytes.
+  struct PublishSlot {
+    std::atomic<uint64_t> tag{0};
+    uint64_t end = 0;
+  };
+
+  Lsn AppendReserve(const RecordHeader& hdr, const void* payload,
+                    size_t total);
+  Lsn AppendLatched(const RecordHeader& hdr, const void* payload,
+                    size_t total);
+  void CopyIntoRing(Lsn at, const void* src, size_t len);
+  /// One backpressure pause: kick the flusher, yield, charge blocked time.
+  void BackpressurePause();
+
   void FlusherLoop();
+  void FlushOnce();
+  /// Consume contiguously published slots and advance `watermark_`.
+  /// Returns true iff it advanced. Caller must hold `publish_latch_`.
+  bool AdvanceWatermarkLocked();
+  /// Try to take the consumer role and advance the watermark; returns true
+  /// only when the watermark actually moved (false when another thread is
+  /// already consuming or nothing is publishable — callers should back
+  /// off then). Writers call this from slot backpressure (cooperative
+  /// publish) so progress never waits on the flusher's wake-up cadence.
+  bool TryAdvanceWatermark();
+  void EmitToSink(Lsn from, Lsn to);
+  /// Wake satisfied committers (consolidated policy; flusher thread only).
+  /// With `shutdown` set, every waiter is released regardless of LSN.
+  void SettleWaiters(bool shutdown);
 
   LogOptions options_;
+  size_t slot_mask_ = 0;
   std::unique_ptr<uint8_t[]> ring_;
+  /// Publish slots, indexed by record seq & slot_mask_ (see PublishSlot).
+  std::unique_ptr<PublishSlot[]> slots_;
 
-  SpinLatch append_latch_;
-  std::atomic<Lsn> appended_lsn_{0};
+  SpinLatch append_latch_;  ///< kLatched mode only
+  std::atomic<uint64_t> ticket_{0};
+  std::atomic<Lsn> watermark_{0};
   std::atomic<Lsn> durable_lsn_{0};
   std::atomic<uint64_t> records_{0};
   std::atomic<uint64_t> flushes_{0};
 
+  std::atomic<CommitWaiter*> waiters_{nullptr};  ///< incoming (Treiber push)
+  CommitWaiter* pending_ = nullptr;              ///< flusher-private
+
+  /// Serializes the consumer role (watermark advance). Held briefly by the
+  /// flusher each pass and by writers helping from slot backpressure.
+  SpinLatch publish_latch_;
+  uint64_t next_seq_ = 0;  ///< protected by publish_latch_
+
   std::mutex flush_mu_;
   std::condition_variable flush_cv_;    // waking the flusher
-  std::condition_variable durable_cv_;  // waking committers
+  std::condition_variable durable_cv_;  // waking committers (kBroadcast)
   bool stop_ = false;
   std::thread flusher_;
 };

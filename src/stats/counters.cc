@@ -35,9 +35,12 @@ const char* CounterName(Counter c) {
     case Counter::kSliInvalidated: return "sli.invalidated";
     case Counter::kSliDiscarded: return "sli.discarded";
     case Counter::kSliUpgradeAfterReclaim: return "sli.upgrade_after_reclaim";
+    case Counter::kLogResvRetries: return "log.resv_retries";
+    case Counter::kGroupCommitWaitersWoken: return "log.gc_waiters_woken";
     case Counter::kTxnCommits: return "txn.commits";
     case Counter::kTxnUserAborts: return "txn.user_aborts";
     case Counter::kTxnDeadlockAborts: return "txn.deadlock_aborts";
+    case Counter::kTxnEarlyRelease: return "txn.early_release";
     case Counter::kNumCounters: break;
   }
   return "?";

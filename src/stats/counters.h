@@ -42,10 +42,17 @@ enum class Counter : uint32_t {
   kSliDiscarded,       ///< inherited requests released unused at next commit
   kSliUpgradeAfterReclaim,  ///< reclaimed, then needed a stronger mode
 
+  // -- log / commit pipeline --
+  kLogResvRetries,          ///< backpressure pauses in the log append path
+                            ///< (ring space or publish-slot waits)
+  kGroupCommitWaitersWoken, ///< committers woken individually by the
+                            ///< consolidated group-commit queue
+
   // -- transactions --
   kTxnCommits,
   kTxnUserAborts,      ///< benchmark-specified failures (invalid input)
   kTxnDeadlockAborts,
+  kTxnEarlyRelease,    ///< commits that released locks before durability
 
   kNumCounters,
 };

@@ -14,20 +14,41 @@ Transaction* TransactionManager::Begin(AgentContext* agent) {
   return &txn;
 }
 
+Lsn TransactionManager::CommitLogInsert(Transaction& txn) {
+  return log_manager_->Append(txn.id(), LogRecordType::kCommit, nullptr, 0);
+}
+
+void TransactionManager::CommitReleaseLocks(AgentContext* agent) {
+  lock_manager_->ReleaseAll(&agent->txn().lock_client(), &agent->sli(),
+                            /*allow_inherit=*/true);
+}
+
+void TransactionManager::CommitWaitDurable(Lsn lsn) {
+  log_manager_->WaitDurable(lsn);
+}
+
 Status TransactionManager::Commit(AgentContext* agent) {
   ScopedComponent comp(Component::kTxn);
   Transaction& txn = agent->txn();
   if (!txn.active()) return Status::InvalidArgument("commit of inactive txn");
 
-  // Durability point: commit record must be on "disk" before locks release.
-  if (log_manager_ != nullptr) {
-    const Lsn lsn =
-        log_manager_->Append(txn.id(), LogRecordType::kCommit, nullptr, 0);
-    log_manager_->WaitDurable(lsn);
+  if (log_manager_ == nullptr) {
+    CommitReleaseLocks(agent);
+  } else if (options_.early_lock_release) {
+    // Locks are logically released the instant the commit record enters the
+    // log: its LSN fixes the serialization point, and group commit hardens
+    // in LSN order, so dependents cannot out-run us to durability. Dropping
+    // (or inheriting) locks while the flush is in flight removes the commit
+    // I/O from the lock hold time.
+    const Lsn lsn = CommitLogInsert(txn);
+    CommitReleaseLocks(agent);
+    CountEvent(Counter::kTxnEarlyRelease);
+    CommitWaitDurable(lsn);
+  } else {
+    const Lsn lsn = CommitLogInsert(txn);
+    CommitWaitDurable(lsn);
+    CommitReleaseLocks(agent);
   }
-
-  lock_manager_->ReleaseAll(&txn.lock_client(), &agent->sli(),
-                            /*allow_inherit=*/true);
   txn.state_ = TxnState::kCommitted;
   txn.undo_.clear();
   CountEvent(Counter::kTxnCommits);

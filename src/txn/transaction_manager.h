@@ -1,6 +1,14 @@
 // Transaction manager: begin / commit / abort orchestration over the lock
 // manager and the write-ahead log. Commit is where SLI inheritance happens;
 // begin is where the next transaction adopts the agent's inherited locks.
+//
+// Commit runs as a three-phase pipeline (see DESIGN.md "Commit pipeline"):
+//   1. log-insert   — reserve + fill the commit record (latch-free append)
+//   2. lock-release — ReleaseAll with SLI inheritance; with early lock
+//                     release (default) this happens while the flush is
+//                     still in flight, shrinking the lock hold time the
+//                     next transaction inherits across
+//   3. wait-durable — consolidated group commit on the commit record's LSN
 #pragma once
 
 #include <atomic>
@@ -14,11 +22,24 @@
 
 namespace slidb {
 
+struct TxnOptions {
+  /// Release locks (with SLI inheritance) after the commit record is
+  /// *inserted* but before it is *durable*. Safe under group commit: the
+  /// flusher hardens the log strictly in LSN order, so any transaction that
+  /// observes our released writes appends its own commit record after ours
+  /// and cannot become durable before us. When false, locks are held until
+  /// the commit record is on "disk" (the legacy ordering).
+  bool early_lock_release = true;
+};
+
 class TransactionManager {
  public:
   /// Both dependencies outlive the manager; no ownership taken.
-  TransactionManager(LockManager* lock_manager, LogManager* log_manager)
-      : lock_manager_(lock_manager), log_manager_(log_manager) {}
+  TransactionManager(LockManager* lock_manager, LogManager* log_manager,
+                     TxnOptions options = {})
+      : lock_manager_(lock_manager),
+        log_manager_(log_manager),
+        options_(options) {}
 
   TransactionManager(const TransactionManager&) = delete;
   TransactionManager& operator=(const TransactionManager&) = delete;
@@ -26,8 +47,7 @@ class TransactionManager {
   /// Start the agent's (reused) transaction and adopt inherited locks.
   Transaction* Begin(AgentContext* agent);
 
-  /// Commit: append + flush the commit record (group commit), then release
-  /// locks with SLI inheritance enabled.
+  /// Commit via the log-insert / lock-release / wait-durable pipeline.
   Status Commit(AgentContext* agent);
 
   /// Abort: run undo actions (locks still held), log the abort, release
@@ -38,9 +58,17 @@ class TransactionManager {
     return next_txn_id_.load(std::memory_order_relaxed);
   }
 
+  const TxnOptions& options() const { return options_; }
+
  private:
+  // Commit pipeline phases.
+  Lsn CommitLogInsert(Transaction& txn);
+  void CommitReleaseLocks(AgentContext* agent);
+  void CommitWaitDurable(Lsn lsn);
+
   LockManager* lock_manager_;
   LogManager* log_manager_;
+  TxnOptions options_;
   std::atomic<uint64_t> next_txn_id_{1};
 };
 

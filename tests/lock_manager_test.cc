@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -93,6 +94,51 @@ TEST_F(LockManagerTest, ConflictBlocksUntilRelease) {
   lm_.ReleaseAll(&c1, nullptr, false);
   waiter.join();
   EXPECT_TRUE(got.load());
+}
+
+TEST_F(LockManagerTest, WaiterBehindDeepGrantedPrefixIsWoken) {
+  // A deep granted prefix (many IS holders) with an X waiter behind it:
+  // the waiter-boundary hint means releases scan from the waiter, not the
+  // prefix, and the waiter must still be granted exactly when the last
+  // holder leaves.
+  constexpr int kHolders = 32;
+  std::vector<std::unique_ptr<LockClient>> holders;
+  for (int i = 0; i < kHolders; ++i) {
+    holders.push_back(std::make_unique<LockClient>());
+    holders.back()->StartTxn(1 + i, i);
+    ASSERT_TRUE(
+        lm_.Lock(holders.back().get(), LockId::Table(0, 5), LockMode::kIS)
+            .ok());
+  }
+
+  LockClient writer;
+  writer.StartTxn(1000, 99);
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm_.Lock(&writer, LockId::Table(0, 5), LockMode::kX).ok());
+    got.store(true);
+    lm_.ReleaseAll(&writer, nullptr, false);
+  });
+
+  // FIFO: a later IS request must queue behind the X waiter, not sneak in.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  LockClient late;
+  late.StartTxn(2000, 98);
+  std::atomic<bool> late_got{false};
+  std::thread late_waiter([&] {
+    EXPECT_TRUE(lm_.Lock(&late, LockId::Table(0, 5), LockMode::kIS).ok());
+    late_got.store(true);
+    lm_.ReleaseAll(&late, nullptr, false);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(got.load());
+  EXPECT_FALSE(late_got.load());
+  for (auto& h : holders) lm_.ReleaseAll(h.get(), nullptr, false);
+  waiter.join();
+  late_waiter.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_TRUE(late_got.load());
 }
 
 TEST_F(LockManagerTest, UpgradeSToXWhenAlone) {

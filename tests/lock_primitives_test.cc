@@ -109,6 +109,53 @@ TEST(LockCacheTest, TombstoneReuseKeepsCollidingChainsIntact) {
   EXPECT_EQ(cache.Find(LockId::Page(0, 3, 63)), &updated);
 }
 
+TEST(LockCacheTest, GenerationClearInvalidatesWithoutWiping) {
+  // Clear() is O(1): it bumps the generation instead of touching kSlots
+  // entries. Stale-generation slots must read as empty for Find, Insert
+  // (reusable), and the introspection counters alike.
+  LockCache cache;
+  LockRequest r1, r2, r3;
+  cache.Insert(LockId::Table(0, 1), &r1);
+  cache.Insert(LockId::Page(0, 1, 5), &r2);
+  cache.Erase(LockId::Page(0, 1, 5));  // current-generation tombstone
+  EXPECT_EQ(cache.TombstoneSlots(), 1u);
+
+  const uint64_t gen_before = cache.generation();
+  cache.Clear();
+  EXPECT_EQ(cache.generation(), gen_before + 1);
+  EXPECT_EQ(cache.Find(LockId::Table(0, 1)), nullptr);
+  EXPECT_EQ(cache.LiveSlots(), 0u);
+  EXPECT_EQ(cache.TombstoneSlots(), 0u);  // stale tombstones died with gen
+
+  // Stale slots are immediately reusable in the new generation.
+  cache.Insert(LockId::Table(0, 1), &r3);
+  EXPECT_EQ(cache.Find(LockId::Table(0, 1)), &r3);
+  EXPECT_EQ(cache.LiveSlots(), 1u);
+}
+
+TEST(LockCacheTest, ManyGenerationsStayIndependent) {
+  LockCache cache;
+  LockRequest reqs[8];
+  for (int gen = 0; gen < 100; ++gen) {
+    // Each "transaction" inserts a few ids, finds them, then clears.
+    for (uint32_t i = 0; i < 8; ++i) {
+      cache.Insert(LockId::Page(0, 2, i), &reqs[i]);
+    }
+    for (uint32_t i = 0; i < 8; ++i) {
+      ASSERT_EQ(cache.Find(LockId::Page(0, 2, i)), &reqs[i]);
+    }
+    // An id from a previous generation that this one never wrote stays
+    // invisible.
+    ASSERT_EQ(cache.Find(LockId::Table(0, 77)), nullptr);
+    if (gen == 0) {
+      LockRequest extra;
+      cache.Insert(LockId::Table(0, 77), &extra);
+    }
+    cache.Clear();
+    ASSERT_EQ(cache.LiveSlots(), 0u);
+  }
+}
+
 TEST(LockCacheTest, DatabaseZeroIdIsNotConfusedWithEmptySlots) {
   // Regression guard: LockId::Database(0) is all-zero fields; lookups for
   // it must not match empty or tombstoned slots.
@@ -207,6 +254,52 @@ TEST(LockHeadTest, QueueAppendUnlinkMaintainsLinks) {
   head.Unlink(&c);  // last
   EXPECT_TRUE(head.QueueEmpty());
   EXPECT_EQ(head.q_tail, nullptr);
+}
+
+TEST(LockHeadTest, WaiterHintTracksFirstWaitingRequest) {
+  LockHead head;
+  LockRequest g1, g2, w1, w2;
+  g1.mode = LockMode::kS;
+  g1.status.store(RequestStatus::kGranted);
+  g2.mode = LockMode::kS;
+  g2.status.store(RequestStatus::kGranted);
+  w1.mode = LockMode::kX;
+  w1.status.store(RequestStatus::kWaiting);
+  w2.mode = LockMode::kX;
+  w2.status.store(RequestStatus::kWaiting);
+  head.Append(&g1);
+  head.Append(&g2);
+  head.Append(&w1);
+  head.Append(&w2);
+  head.RecomputeSummaryFromQueue();
+  EXPECT_EQ(head.waiter_hint, &w1);
+  EXPECT_TRUE(head.SummaryMatchesQueue());
+
+  // Unlinking the boundary node advances the hint to its successor.
+  head.Unlink(&w1);
+  EXPECT_EQ(head.waiter_hint, &w2);
+  EXPECT_TRUE(head.SummaryMatchesQueue());
+  head.Unlink(&w2);
+  EXPECT_EQ(head.waiter_hint, nullptr);
+  EXPECT_TRUE(head.SummaryMatchesQueue());
+}
+
+TEST(LockHeadTest, SummaryCheckerDetectsWaiterHintDrift) {
+  LockHead head;
+  LockRequest g, w;
+  g.mode = LockMode::kS;
+  g.status.store(RequestStatus::kGranted);
+  w.mode = LockMode::kX;
+  w.status.store(RequestStatus::kWaiting);
+  head.Append(&g);
+  head.SummaryAdd(g.mode);
+  head.Append(&w);
+  // Forgot to set the waiter boundary: the checker must notice a kWaiting
+  // request sitting before (here: without) the hint.
+  EXPECT_FALSE(head.SummaryMatchesQueue());
+  head.RecomputeSummaryFromQueue();
+  EXPECT_EQ(head.waiter_hint, &w);
+  EXPECT_TRUE(head.SummaryMatchesQueue());
 }
 
 TEST(LockHeadTest, IncrementalSummaryAggregates) {

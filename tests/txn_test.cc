@@ -1,7 +1,12 @@
 // Transaction manager tests: lifecycle, undo ordering, durability
-// interaction, SLI hand-off across the Begin/Commit boundary.
+// interaction, the commit pipeline's early-lock-release phase split, and
+// SLI hand-off across the Begin/Commit boundary.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/txn/transaction_manager.h"
@@ -182,6 +187,112 @@ TEST(TxnTest, AbortPreservesAgentSpeculation) {
     ASSERT_TRUE(h.txn_manager->Commit(&agent).ok());
   }
   EXPECT_GT(counters.Get(Counter::kSliReclaimed), 0u);
+}
+
+/// Blocks the flusher's device write until the test opens the gate, putting
+/// the durability point under test control.
+struct FlushGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+
+  void Install(LogOptions* o) {
+    o->flush_sink = [this](const uint8_t*, size_t, Lsn) {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [this] { return open; });
+    };
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+TEST(TxnTest, EarlyLockReleaseDropsLocksBeforeDurability) {
+  FlushGate gate;
+  LockManagerOptions lo;
+  lo.deadlock_interval_us = 500;
+  LockManager lock_manager(lo);
+  LogOptions logo;
+  logo.flush_interval_us = 50;
+  gate.Install(&logo);
+  LogManager log_manager(logo);
+  TxnOptions txo;
+  txo.early_lock_release = true;
+  TransactionManager tm(&lock_manager, &log_manager, txo);
+
+  AgentContext agent(0);
+  tm.Begin(&agent);
+  ASSERT_TRUE(lock_manager
+                  .Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
+                        LockMode::kX)
+                  .ok());
+
+  std::atomic<bool> commit_done{false};
+  CounterSet commit_counters;
+  std::thread committer([&] {
+    ScopedCounterSet routed(&commit_counters);
+    EXPECT_TRUE(tm.Commit(&agent).ok());
+    commit_done.store(true, std::memory_order_release);
+  });
+
+  // The conflicting lock must become available while the commit record is
+  // still stuck behind the gated flush: phase 2 (lock release) runs before
+  // phase 3 (wait-durable).
+  LockClient other;
+  other.StartTxn(1000, 9);
+  ASSERT_TRUE(lock_manager.Lock(&other, LockId::Table(0, 1), LockMode::kX)
+                  .ok());
+  EXPECT_FALSE(commit_done.load(std::memory_order_acquire));
+  EXPECT_LT(log_manager.durable_lsn(), log_manager.reserved_lsn());
+  lock_manager.ReleaseAll(&other, nullptr, false);
+
+  gate.Open();
+  committer.join();
+  EXPECT_TRUE(commit_done.load());
+  EXPECT_GT(commit_counters.Get(Counter::kTxnEarlyRelease), 0u);
+}
+
+TEST(TxnTest, LegacyOrderingHoldsLocksUntilDurable) {
+  FlushGate gate;
+  LockManagerOptions lo;
+  lo.deadlock_interval_us = 500;
+  lo.lock_timeout_us = 100'000;  // short: we expect a timeout below
+  LockManager lock_manager(lo);
+  LogOptions logo;
+  logo.flush_interval_us = 50;
+  gate.Install(&logo);
+  LogManager log_manager(logo);
+  TxnOptions txo;
+  txo.early_lock_release = false;
+  TransactionManager tm(&lock_manager, &log_manager, txo);
+
+  AgentContext agent(0);
+  tm.Begin(&agent);
+  ASSERT_TRUE(lock_manager
+                  .Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
+                        LockMode::kX)
+                  .ok());
+
+  std::thread committer([&] { EXPECT_TRUE(tm.Commit(&agent).ok()); });
+
+  // With the legacy ordering the lock is held across the (gated) durable
+  // wait, so a conflicting request must time out.
+  LockClient other;
+  other.StartTxn(1000, 9);
+  EXPECT_TRUE(lock_manager.Lock(&other, LockId::Table(0, 1), LockMode::kX)
+                  .IsTimedOut());
+
+  gate.Open();
+  committer.join();
+  // After commit returns, the lock is free.
+  other.StartTxn(1001, 9);
+  ASSERT_TRUE(lock_manager.Lock(&other, LockId::Table(0, 1), LockMode::kX)
+                  .ok());
+  lock_manager.ReleaseAll(&other, nullptr, false);
 }
 
 TEST(TxnTest, LogBytesTracked) {
