@@ -5,6 +5,7 @@
 # Defaults: build/ and the repo root; pass --quick (default) or longer
 # windows via extra args. Produces:
 #   $OUT_DIR/BENCH_lockmgr.json    (micro_grant_path: grant-path latency)
+#   $OUT_DIR/BENCH_btree.json      (micro_btree: OLC vs crabbing probes)
 #   $OUT_DIR/BENCH_workloads.json  (macro_workloads: log append + TPC-B/TM1)
 set -euo pipefail
 
@@ -14,7 +15,7 @@ OUT_DIR="${2:-.}"
 shift $(( $# > 2 ? 2 : $# )) || true
 EXTRA_ARGS=("${@:-"--quick"}")
 
-for bench in micro_grant_path macro_workloads; do
+for bench in micro_grant_path micro_btree macro_workloads; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "error: $BUILD_DIR/$bench not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -22,5 +23,6 @@ for bench in micro_grant_path macro_workloads; do
 done
 
 "$BUILD_DIR/micro_grant_path" "${EXTRA_ARGS[@]}" --json="$OUT_DIR/BENCH_lockmgr.json"
+"$BUILD_DIR/micro_btree" "${EXTRA_ARGS[@]}" --json="$OUT_DIR/BENCH_btree.json"
 "$BUILD_DIR/macro_workloads" "${EXTRA_ARGS[@]}" --json="$OUT_DIR/BENCH_workloads.json"
-echo "bench results written to $OUT_DIR/BENCH_lockmgr.json and $OUT_DIR/BENCH_workloads.json"
+echo "bench results written to $OUT_DIR/BENCH_lockmgr.json, $OUT_DIR/BENCH_btree.json and $OUT_DIR/BENCH_workloads.json"

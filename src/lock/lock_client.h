@@ -11,6 +11,7 @@
 
 #include "src/lock/lock_cache.h"
 #include "src/lock/lock_request.h"
+#include "src/stats/counters.h"
 
 namespace slidb {
 
@@ -73,8 +74,28 @@ class LockClient {
 
   std::atomic<bool>& deadlock_victim() { return deadlock_victim_; }
 
+  /// True while the owning thread is inside its WaitForGrant window (set
+  /// under wait_mu_ before the first predicate check, cleared before the
+  /// window exits). Lets Wake() skip the mutex when nobody can be parked.
+  void BeginWaitWindow() {
+    waiting_.store(true, std::memory_order_relaxed);
+    // Pairs with the fence in Wake(): either the waker sees waiting_ set
+    // (and takes the mutex), or our predicate check below the fence sees
+    // the waker's status store — the wakeup cannot be lost.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+  void EndWaitWindow() { waiting_.store(false, std::memory_order_relaxed); }
+
   /// Wake a blocked client (called by lock releasers and the detector).
+  /// Fast path: when no thread can be parked (the waiting flag is unset),
+  /// skip the wait mutex entirely — the common release-with-no-waiters
+  /// case stays futex-style lock-free.
   void Wake() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!waiting_.load(std::memory_order_relaxed)) {
+      CountEvent(Counter::kLockWakeFast);
+      return;
+    }
     // The lock ensures the waiter either has not yet checked its predicate
     // or is inside wait(); either way the notification is not lost.
     std::lock_guard<std::mutex> g(wait_mu_);
@@ -91,6 +112,7 @@ class LockClient {
 
   std::mutex wait_mu_;
   std::condition_variable wait_cv_;
+  std::atomic<bool> waiting_{false};
   std::atomic<LockRequest*> waiting_on_{nullptr};
   std::atomic<bool> deadlock_victim_{false};
 };

@@ -91,6 +91,12 @@ struct LockHead {
   /// SLI criterion 4, "no other transaction is waiting").
   std::atomic<uint32_t> waiter_count{0};
 
+  /// Aggregate waiter count of the hash bucket holding this head, wired by
+  /// LockTable at creation. Maintained alongside waiter_count (AddWaiter /
+  /// RemoveWaiter) so the deadlock detector can skip whole buckets — idle
+  /// tables are scanned without touching a single head latch.
+  std::atomic<uint32_t>* bucket_waiters = nullptr;
+
   /// Waiter boundary: the earliest queue node that may still be in
   /// kWaiting. Invariant (latched): every kWaiting request sits at or after
   /// this node, so wakeup scans (GrantWaiters phase 2) start here instead
@@ -156,6 +162,23 @@ struct LockHead {
   }
 
   bool QueueEmpty() const { return q_head == nullptr; }
+
+  /// A request entered kWaiting/kConverting. Keeps the head's count (SLI
+  /// criterion 4) and the bucket aggregate (detector bucket skip) in step.
+  void AddWaiter() {
+    waiter_count.fetch_add(1, std::memory_order_acq_rel);
+    if (bucket_waiters != nullptr) {
+      bucket_waiters->fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  /// A request left kWaiting/kConverting (grant, abort, or timeout).
+  void RemoveWaiter() {
+    waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+    if (bucket_waiters != nullptr) {
+      bucket_waiters->fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
 
   // ---- grant summary; caller must hold `latch` ----
 

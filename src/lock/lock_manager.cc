@@ -210,7 +210,7 @@ void LockManager::GrantWaiters(LockHead* h, WakeBatch* wakes) {
         h->SummaryUpgrade(was, r->mode);
         r->status.store(RequestStatus::kGranted, std::memory_order_release);
         --h->converting_count;
-        h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+        h->RemoveWaiter();
         if (LockClient* cl = r->client.load(std::memory_order_acquire)) {
           wakes->Add(cl);
         }
@@ -229,7 +229,7 @@ void LockManager::GrantWaiters(LockHead* h, WakeBatch* wakes) {
       if (!CanGrant(h, r, r->mode)) break;
       r->status.store(RequestStatus::kGranted, std::memory_order_release);
       h->SummaryAdd(r->mode);
-      h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+      h->RemoveWaiter();
       if (LockClient* cl = r->client.load(std::memory_order_acquire)) {
         wakes->Add(cl);
       }
@@ -273,7 +273,7 @@ Status LockManager::AcquireNew(LockClient* c, const LockId& id,
   req->status.store(RequestStatus::kWaiting, std::memory_order_release);
   h->Append(req);
   if (h->waiter_hint == nullptr) h->waiter_hint = req;
-  h->waiter_count.fetch_add(1, std::memory_order_acq_rel);
+  h->AddWaiter();
   c->waiting_on().store(req, std::memory_order_release);
   SLIDB_DCHECK_SUMMARY(h);
   h->latch.Release();
@@ -310,7 +310,7 @@ Status LockManager::Upgrade(LockClient* c, LockRequest* r, LockMode mode) {
   r->convert_to = target;
   r->status.store(RequestStatus::kConverting, std::memory_order_release);
   ++h->converting_count;
-  h->waiter_count.fetch_add(1, std::memory_order_acq_rel);
+  h->AddWaiter();
   c->waiting_on().store(r, std::memory_order_release);
   h->latch.Release();
 
@@ -328,6 +328,7 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
 
   {
     std::unique_lock<std::mutex> lk(c->wait_mutex());
+    c->BeginWaitWindow();
     for (;;) {
       const RequestStatus s = r->status.load(std::memory_order_acquire);
       if (s == RequestStatus::kGranted) break;
@@ -340,6 +341,7 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
       c->wait_cv().wait_for(lk,
                             std::chrono::microseconds(deadline_us - now_us));
     }
+    c->EndWaitWindow();
   }
 
   if (ThreadProfile* p = ThreadProfile::Current()) {
@@ -372,7 +374,7 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
                               // the last pin, letting the head be reclaimed
                               // and reused for a different lock
     h->Unlink(r);
-    h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+    h->RemoveWaiter();
     GrantWaiters(h, &wakes);  // our departure may unblock FIFO successors
     h->latch.Release();
     wakes.Flush();
@@ -385,7 +387,7 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
     r->convert_to = r->mode;
     r->status.store(RequestStatus::kGranted, std::memory_order_release);
     --h->converting_count;
-    h->waiter_count.fetch_sub(1, std::memory_order_acq_rel);
+    h->RemoveWaiter();
     GrantWaiters(h, &wakes);
     h->latch.Release();
     wakes.Flush();
@@ -654,7 +656,11 @@ size_t LockManager::RunDeadlockDetection() {
   };
   std::vector<QueueEntry> entries;
 
-  table_.ForEachHead([&](LockHead* h) {
+  // Only heads with a waiting/converting request can contribute an edge,
+  // so buckets whose aggregate waiter count is zero are skipped without
+  // touching any latch — an idle-table detection pass is a latch-free
+  // array sweep.
+  table_.ForEachHeadWithWaiters([&](LockHead* h) {
     entries.clear();
     for (LockRequest* r = h->q_head; r != nullptr; r = r->q_next) {
       const RequestStatus s = r->status.load(std::memory_order_acquire);

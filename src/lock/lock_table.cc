@@ -7,7 +7,10 @@ namespace slidb {
 namespace {
 
 /// Scrub a freelist head back to fresh-construction state. Runs under the
-/// bucket latch with no pins outstanding, so plain stores are safe.
+/// bucket latch with no pins outstanding, so plain stores are safe. The
+/// bucket_waiters pointer is left as-is: freelists are per-bucket, so it
+/// already points at the right aggregate (and contributed zero when the
+/// head was retired).
 void ResetHead(LockHead* h, const LockId& id) {
   h->id = id;
   for (size_t i = 0; i < kNumLockModes; ++i) h->granted_counts[i] = 0;
@@ -66,6 +69,7 @@ LockHead* LockTable::FindOrCreate(const LockId& id) {
     h = new LockHead();
     h->id = id;
     h->pin_count.store(1, std::memory_order_relaxed);
+    h->bucket_waiters = &bucket.waiters;
   }
   h->bucket_next = bucket.chain;
   bucket.chain = h;

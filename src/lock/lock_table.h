@@ -43,12 +43,32 @@ class LockTable {
   /// Heads currently parked on bucket freelists (stats/tests).
   size_t FreeListSize();
 
-  /// Iterate all heads (deadlock detector, stats). `fn` is invoked with the
-  /// head latch held; it must not block or acquire other latches.
+  /// Iterate all heads (stats). `fn` is invoked with the head latch held;
+  /// it must not block or acquire other latches.
   template <typename Fn>
   void ForEachHead(Fn&& fn) {
     for (size_t i = 0; i <= bucket_mask_; ++i) {
       Bucket& bucket = *buckets_[i];
+      SpinLatchGuard bg(bucket.latch);
+      for (LockHead* h = bucket.chain; h != nullptr; h = h->bucket_next) {
+        SpinLatchGuard hg(h->latch);
+        fn(h);
+      }
+    }
+  }
+
+  /// Like ForEachHead, but skips buckets whose aggregate waiter count
+  /// (maintained by LockHead::AddWaiter/RemoveWaiter) is zero — without
+  /// taking the bucket latch, let alone any head latch. Waits-for edges
+  /// only exist on heads with a waiting or converting request, so this
+  /// visits every head that can contribute one; a waiter arriving
+  /// concurrently with the scan is caught by the caller's next pass (the
+  /// deadlock detector is periodic by design).
+  template <typename Fn>
+  void ForEachHeadWithWaiters(Fn&& fn) {
+    for (size_t i = 0; i <= bucket_mask_; ++i) {
+      Bucket& bucket = *buckets_[i];
+      if (bucket.waiters.load(std::memory_order_acquire) == 0) continue;
       SpinLatchGuard bg(bucket.latch);
       for (LockHead* h = bucket.chain; h != nullptr; h = h->bucket_next) {
         SpinLatchGuard hg(h->latch);
@@ -72,6 +92,9 @@ class LockTable {
     LockHead* chain = nullptr;
     LockHead* free_list = nullptr;
     uint32_t free_count = 0;
+    /// Waiting/converting requests across all heads in this bucket
+    /// (maintained latch-free via LockHead::bucket_waiters).
+    std::atomic<uint32_t> waiters{0};
   };
 
   Bucket& BucketFor(const LockId& id) {

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/util/cacheline.h"
 #include "src/util/latch.h"
 #include "src/util/status.h"
 
@@ -157,7 +158,13 @@ class LogManager {
   /// consumes when tag == s + 1 and re-arms with tag = s + slots,
   /// readmitting the writer of the next round. The tag's release/acquire
   /// pairs order the plain `end` field and the ring bytes.
-  struct PublishSlot {
+  ///
+  /// Cache-line aligned: adjacent record sequences map to adjacent slots,
+  /// so unpadded slots (4 per line) put concurrent publishers on the same
+  /// line — false sharing on real SMP. The slot array stays bounded via
+  /// `reservation_slots` (auto-scale buffer/128, hard clamp 2^19 → at most
+  /// 32 MB of slots for the largest admissible ring).
+  struct alignas(kCacheLineSize) PublishSlot {
     std::atomic<uint64_t> tag{0};
     uint64_t end = 0;
   };

@@ -22,6 +22,7 @@ const char* CounterName(Counter c) {
     case Counter::kLockReleases: return "lock.releases";
     case Counter::kCanGrantFast: return "lock.cangrant_fast";
     case Counter::kCanGrantSlow: return "lock.cangrant_slow";
+    case Counter::kLockWakeFast: return "lock.wake_fast";
     case Counter::kAcqRow: return "acq.row";
     case Counter::kAcqHigh: return "acq.high";
     case Counter::kAcqShared: return "acq.shared";
@@ -37,6 +38,10 @@ const char* CounterName(Counter c) {
     case Counter::kSliUpgradeAfterReclaim: return "sli.upgrade_after_reclaim";
     case Counter::kLogResvRetries: return "log.resv_retries";
     case Counter::kGroupCommitWaitersWoken: return "log.gc_waiters_woken";
+    case Counter::kBtreeRestarts: return "btree.restarts";
+    case Counter::kBtreeLeafReclaims: return "btree.leaf_reclaims";
+    case Counter::kEpochRetired: return "epoch.retired";
+    case Counter::kEpochFreed: return "epoch.freed";
     case Counter::kTxnCommits: return "txn.commits";
     case Counter::kTxnUserAborts: return "txn.user_aborts";
     case Counter::kTxnDeadlockAborts: return "txn.deadlock_aborts";

@@ -24,6 +24,8 @@ enum class Counter : uint32_t {
   kCanGrantFast,       ///< conflict checks answered O(1) from the summary
   kCanGrantSlow,       ///< conflict checks that walked the queue (inherited
                        ///< invalidation possible)
+  kLockWakeFast,       ///< Wake() calls that skipped the wait mutex because
+                       ///< no thread could be parked
 
   // -- Figure 8: breakdown of acquired locks --
   kAcqRow,             ///< row-level acquisitions
@@ -47,6 +49,14 @@ enum class Counter : uint32_t {
                             ///< (ring space or publish-slot waits)
   kGroupCommitWaitersWoken, ///< committers woken individually by the
                             ///< consolidated group-commit queue
+
+  // -- B-tree optimistic lock coupling --
+  kBtreeRestarts,       ///< optimistic traversals retried after a version
+                        ///< conflict (read or write path)
+  kBtreeLeafReclaims,   ///< emptied leaves unlinked and retired to the epoch
+                        ///< manager
+  kEpochRetired,        ///< nodes handed to epoch-deferred reclamation
+  kEpochFreed,          ///< retired nodes actually freed (grace elapsed)
 
   // -- transactions --
   kTxnCommits,

@@ -2,40 +2,94 @@
 
 #include <cassert>
 
+#include "src/stats/counters.h"
 #include "src/stats/profiler.h"
 
 namespace slidb {
 
 // Entries are totally ordered by the (key, value) pair, which makes
 // duplicate keys unambiguous: every entry has exactly one location.
+//
+// Fields below the latches are relaxed atomics: optimistic readers race
+// with writers by design (the OptLatch version check discards any torn
+// read), and relaxed atomic accesses make that protocol defined behaviour
+// instead of a data race — on x86 they compile to the same plain loads and
+// stores the latched implementation used. Two discipline rules keep racy
+// values harmless: a pointer read optimistically is dereferenced only
+// after the node it was read from validates, and values (keys, counts)
+// are acted on only after validation.
 struct BTree::Node {
-  RwLatch latch;
-  bool leaf = true;
-  uint16_t count = 0;
-  uint64_t keys[kFanout];
-  uint64_t vals[kFanout];          // leaf: values; internal: separator tie-break
-  Node* children[kFanout + 1];     // internal only
-  Node* next = nullptr;            // leaf chain
+  OptLatch version;  // OLC mode: version-validated access
+  RwLatch latch;     // crabbing mode: reader/writer coupling
+  const bool leaf;
+  std::atomic<uint16_t> count{0};
+  std::atomic<uint64_t> keys[kFanout];
+  std::atomic<uint64_t> vals[kFanout];     // leaf: values; internal: tie-break
+  std::atomic<Node*> children[kFanout + 1];  // internal only
+  std::atomic<Node*> next{nullptr};          // leaf chain
+
+  explicit Node(bool is_leaf) : leaf(is_leaf) {
+    for (auto& k : keys) k.store(0, std::memory_order_relaxed);
+    for (auto& v : vals) v.store(0, std::memory_order_relaxed);
+    for (auto& c : children) c.store(nullptr, std::memory_order_relaxed);
+  }
 };
 
 namespace {
+
+inline uint64_t Ld(const std::atomic<uint64_t>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+inline uint16_t Ld16(const std::atomic<uint16_t>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+inline BTree::Node* LdP(const std::atomic<BTree::Node*>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+inline void St(std::atomic<uint64_t>& a, uint64_t v) {
+  a.store(v, std::memory_order_relaxed);
+}
+inline void St16(std::atomic<uint16_t>& a, uint16_t v) {
+  a.store(v, std::memory_order_relaxed);
+}
+inline void StP(std::atomic<BTree::Node*>& a, BTree::Node* v) {
+  a.store(v, std::memory_order_relaxed);
+}
 
 inline bool PairLess(uint64_t k1, uint64_t v1, uint64_t k2, uint64_t v2) {
   return k1 < k2 || (k1 == k2 && v1 < v2);
 }
 
+void FreeNodeDeleter(void* p) { delete static_cast<BTree::Node*>(p); }
+
+/// Bounded exponential backoff between optimistic restarts: a failed
+/// validation means a writer owns (or just finished with) the path, so
+/// pausing before re-traversal prevents restart storms; under heavy
+/// oversubscription we eventually yield so the writer can run at all.
+class RestartBackoff {
+ public:
+  void Pause() {
+    CountEvent(Counter::kBtreeRestarts);
+    const int spins = 1 << (attempts_ < 6 ? attempts_ : 6);
+    for (int i = 0; i < spins; ++i) latch_internal::CpuRelax();
+    if (++attempts_ >= kYieldAfter) latch_internal::OsYield();
+  }
+
+ private:
+  static constexpr int kYieldAfter = 8;
+  int attempts_ = 0;
+};
+
 }  // namespace
 
-/// First index with (keys[i], vals[i]) >= (k, v).
-static int LowerBound(const BTree::Node* n, uint64_t k, uint64_t v);
-/// First index with (keys[i], vals[i]) > (k, v).
-static int UpperBound(const BTree::Node* n, uint64_t k, uint64_t v);
-
+/// First index with (keys[i], vals[i]) >= (k, v). Safe on racy snapshots:
+/// any count value ever stored is <= kFanout, so reads stay in bounds and
+/// a torn result is discarded by the caller's version check.
 static int LowerBound(const BTree::Node* n, uint64_t k, uint64_t v) {
-  int lo = 0, hi = n->count;
+  int lo = 0, hi = Ld16(n->count);
   while (lo < hi) {
     const int mid = (lo + hi) / 2;
-    if (PairLess(n->keys[mid], n->vals[mid], k, v)) {
+    if (PairLess(Ld(n->keys[mid]), Ld(n->vals[mid]), k, v)) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -44,11 +98,12 @@ static int LowerBound(const BTree::Node* n, uint64_t k, uint64_t v) {
   return lo;
 }
 
+/// First index with (keys[i], vals[i]) > (k, v).
 static int UpperBound(const BTree::Node* n, uint64_t k, uint64_t v) {
-  int lo = 0, hi = n->count;
+  int lo = 0, hi = Ld16(n->count);
   while (lo < hi) {
     const int mid = (lo + hi) / 2;
-    if (PairLess(k, v, n->keys[mid], n->vals[mid])) {
+    if (PairLess(k, v, Ld(n->keys[mid]), Ld(n->vals[mid]))) {
       hi = mid;
     } else {
       lo = mid + 1;
@@ -57,21 +112,25 @@ static int UpperBound(const BTree::Node* n, uint64_t k, uint64_t v) {
   return lo;
 }
 
-BTree::BTree() {
-  root_ = new Node();
-  root_->leaf = true;
-}
+BTree::BTree(BTreeOptions options)
+    : options_(options), root_(new Node(/*is_leaf=*/true)) {}
 
-BTree::~BTree() { FreeTree(root_); }
+BTree::~BTree() {
+  FreeTree(root_.load(std::memory_order_acquire));
+  // Leaves retired by Remove are no longer reachable from the root (the
+  // epoch manager owns them); nudge the shared domain so long-lived
+  // processes that churn trees do not accumulate pending retirees.
+  EpochManager::Global().ReclaimSome();
+}
 
 void BTree::FreeTree(Node* n) {
   if (!n->leaf) {
-    for (int i = 0; i <= n->count; ++i) FreeTree(n->children[i]);
+    for (int i = 0; i <= Ld16(n->count); ++i) FreeTree(LdP(n->children[i]));
   }
   delete n;
 }
 
-// ---- insert ----
+// ---- shared structural helpers (caller holds exclusive access) ----
 
 namespace {
 
@@ -79,84 +138,425 @@ namespace {
 /// exact (k, v) pair already exists.
 bool LeafInsert(BTree::Node* leaf, uint64_t k, uint64_t v) {
   const int idx = LowerBound(leaf, k, v);
-  if (idx < leaf->count && leaf->keys[idx] == k && leaf->vals[idx] == v) {
+  const int count = Ld16(leaf->count);
+  if (idx < count && Ld(leaf->keys[idx]) == k && Ld(leaf->vals[idx]) == v) {
     return false;
   }
-  for (int i = leaf->count; i > idx; --i) {
-    leaf->keys[i] = leaf->keys[i - 1];
-    leaf->vals[i] = leaf->vals[i - 1];
+  for (int i = count; i > idx; --i) {
+    St(leaf->keys[i], Ld(leaf->keys[i - 1]));
+    St(leaf->vals[i], Ld(leaf->vals[i - 1]));
   }
-  leaf->keys[idx] = k;
-  leaf->vals[idx] = v;
-  leaf->count++;
+  St(leaf->keys[idx], k);
+  St(leaf->vals[idx], v);
+  St16(leaf->count, static_cast<uint16_t>(count + 1));
   return true;
 }
 
-/// Split a full child (X-latched) under its X-latched, non-full parent.
-/// After the call, `child` holds the lower half and the new right sibling
-/// (unlatched — not yet visible to anyone else) holds the upper half.
+/// Split a full child (exclusively held) under its exclusively held,
+/// non-full parent. After the call, `child` holds the lower half and the
+/// new right sibling (fresh — not yet visible to anyone else) holds the
+/// upper half. Optimistic readers mid-node see torn state and restart via
+/// the version bump the caller performs on unlock.
 void SplitChild(BTree::Node* parent, int child_slot, BTree::Node* child) {
-  auto* right = new BTree::Node();
-  right->leaf = child->leaf;
-  const int mid = child->count / 2;
+  auto* right = new BTree::Node(child->leaf);
+  const int child_count = Ld16(child->count);
+  const int mid = child_count / 2;
 
   if (child->leaf) {
     // Copy upper half; the separator (first right pair) is copied up.
-    right->count = static_cast<uint16_t>(child->count - mid);
-    for (int i = 0; i < right->count; ++i) {
-      right->keys[i] = child->keys[mid + i];
-      right->vals[i] = child->vals[mid + i];
+    const int rcount = child_count - mid;
+    for (int i = 0; i < rcount; ++i) {
+      St(right->keys[i], Ld(child->keys[mid + i]));
+      St(right->vals[i], Ld(child->vals[mid + i]));
     }
-    child->count = static_cast<uint16_t>(mid);
-    right->next = child->next;
-    child->next = right;
+    St16(right->count, static_cast<uint16_t>(rcount));
+    St16(child->count, static_cast<uint16_t>(mid));
+    StP(right->next, LdP(child->next));
+    StP(child->next, right);
   } else {
     // Move upper separators/children; the middle separator moves up.
-    right->count = static_cast<uint16_t>(child->count - mid - 1);
-    for (int i = 0; i < right->count; ++i) {
-      right->keys[i] = child->keys[mid + 1 + i];
-      right->vals[i] = child->vals[mid + 1 + i];
+    const int rcount = child_count - mid - 1;
+    for (int i = 0; i < rcount; ++i) {
+      St(right->keys[i], Ld(child->keys[mid + 1 + i]));
+      St(right->vals[i], Ld(child->vals[mid + 1 + i]));
     }
-    for (int i = 0; i <= right->count; ++i) {
-      right->children[i] = child->children[mid + 1 + i];
+    for (int i = 0; i <= rcount; ++i) {
+      StP(right->children[i], LdP(child->children[mid + 1 + i]));
     }
-    child->count = static_cast<uint16_t>(mid);
+    St16(right->count, static_cast<uint16_t>(rcount));
+    St16(child->count, static_cast<uint16_t>(mid));
   }
 
   // Insert separator + right child into the parent at child_slot.
   const uint64_t sep_k =
-      child->leaf ? right->keys[0] : child->keys[mid];
+      child->leaf ? Ld(right->keys[0]) : Ld(child->keys[mid]);
   const uint64_t sep_v =
-      child->leaf ? right->vals[0] : child->vals[mid];
-  for (int i = parent->count; i > child_slot; --i) {
-    parent->keys[i] = parent->keys[i - 1];
-    parent->vals[i] = parent->vals[i - 1];
-    parent->children[i + 1] = parent->children[i];
+      child->leaf ? Ld(right->vals[0]) : Ld(child->vals[mid]);
+  const int parent_count = Ld16(parent->count);
+  for (int i = parent_count; i > child_slot; --i) {
+    St(parent->keys[i], Ld(parent->keys[i - 1]));
+    St(parent->vals[i], Ld(parent->vals[i - 1]));
+    StP(parent->children[i + 1], LdP(parent->children[i]));
   }
-  parent->keys[child_slot] = sep_k;
-  parent->vals[child_slot] = sep_v;
-  parent->children[child_slot + 1] = right;
-  parent->count++;
+  St(parent->keys[child_slot], sep_k);
+  St(parent->vals[child_slot], sep_v);
+  StP(parent->children[child_slot + 1], right);
+  St16(parent->count, static_cast<uint16_t>(parent_count + 1));
 }
 
 }  // namespace
 
-Status BTree::Insert(uint64_t key, uint64_t value) {
-  ScopedComponent comp(Component::kStorage);
+// ---- optimistic lock coupling ----
+//
+// Protocol (see DESIGN.md "Optimistic lock coupling"): traversals carry
+// (node, version) pairs; a child pointer read from a node is dereferenced
+// only after that node re-validates; writers upgrade exactly the nodes
+// they mutate. Any validation failure unwinds to the restart label after a
+// bounded backoff. Full nodes are split eagerly on the way down (as the
+// crabbing pessimistic pass did), so a parent is never full when its child
+// needs a separator.
 
+bool BTree::SplitNodeOrRestart(Node* parent, uint64_t pv, Node* node,
+                               uint64_t v, uint64_t key, uint64_t value) {
+  bool rs = false;
+  if (parent != nullptr) {
+    parent->version.UpgradeToWriteLockOrRestart(pv, &rs);
+    if (rs) return false;
+  }
+  node->version.UpgradeToWriteLockOrRestart(v, &rs);
+  if (rs) {
+    if (parent != nullptr) parent->version.WriteUnlock();
+    return false;
+  }
+  if (parent == nullptr) {
+    // Splitting the root: it must still *be* the root (both upgrades
+    // validated, but the root pointer itself is not version-guarded).
+    if (node != root_.load(std::memory_order_acquire)) {
+      node->version.WriteUnlock();
+      return false;
+    }
+    auto* new_root = new Node(/*is_leaf=*/false);
+    StP(new_root->children[0], node);
+    SplitChild(new_root, 0, node);
+    root_.store(new_root, std::memory_order_release);
+    node->version.WriteUnlock();
+  } else {
+    const int slot = UpperBound(parent, key, value);
+    assert(LdP(parent->children[slot]) == node);
+    SplitChild(parent, slot, node);
+    node->version.WriteUnlock();
+    parent->version.WriteUnlock();
+  }
+  return true;
+}
+
+Status BTree::InsertOptimistic(uint64_t key, uint64_t value) {
+  EpochManager::Guard guard(EpochManager::Global());
+  RestartBackoff backoff;
+
+restart:
+  bool rs = false;
+  Node* node = root_.load(std::memory_order_acquire);
+  uint64_t v = node->version.ReadLockOrRestart(&rs);
+  if (rs || node != root_.load(std::memory_order_acquire)) {
+    backoff.Pause();
+    goto restart;
+  }
+  Node* parent = nullptr;
+  uint64_t pv = 0;
+
+  while (!node->leaf) {
+    if (Ld16(node->count) == kFanout) {
+      // Eager split keeps ancestors non-full. Lock parent then node; both
+      // upgrades validate the traversal versions, so the split applies to
+      // exactly the path we read. Either way, re-traverse.
+      if (!SplitNodeOrRestart(parent, pv, node, v, key, value)) {
+        backoff.Pause();
+      }
+      goto restart;
+    }
+
+    if (parent != nullptr) {
+      parent->version.CheckOrRestart(pv, &rs);
+      if (rs) {
+        backoff.Pause();
+        goto restart;
+      }
+    }
+    parent = node;
+    pv = v;
+    const int slot = UpperBound(node, key, value);
+    Node* child = LdP(node->children[slot]);
+    node->version.CheckOrRestart(v, &rs);  // validates slot and child read
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+    node = child;
+    v = node->version.ReadLockOrRestart(&rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+  }
+
+  if (Ld16(node->count) == kFanout) {
+    // Leaf split: lock parent (if any) then leaf, split, re-traverse.
+    if (!SplitNodeOrRestart(parent, pv, node, v, key, value)) {
+      backoff.Pause();
+    }
+    goto restart;
+  }
+
+  node->version.UpgradeToWriteLockOrRestart(v, &rs);
+  if (rs) {
+    backoff.Pause();
+    goto restart;
+  }
+  if (parent != nullptr) {
+    parent->version.CheckOrRestart(pv, &rs);
+    if (rs) {
+      node->version.WriteUnlock();
+      backoff.Pause();
+      goto restart;
+    }
+  }
+  const bool ok = LeafInsert(node, key, value);
+  node->version.WriteUnlock();
+  if (!ok) return Status::KeyExists();
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status BTree::RemoveOptimistic(uint64_t key, uint64_t value) {
+  EpochManager::Guard guard(EpochManager::Global());
+  RestartBackoff backoff;
+
+restart:
+  bool rs = false;
+  Node* node = root_.load(std::memory_order_acquire);
+  uint64_t v = node->version.ReadLockOrRestart(&rs);
+  if (rs || node != root_.load(std::memory_order_acquire)) {
+    backoff.Pause();
+    goto restart;
+  }
+  Node* parent = nullptr;
+  uint64_t pv = 0;
+  int node_slot = 0;  // node's slot within parent
+
+  while (!node->leaf) {
+    if (parent != nullptr) {
+      parent->version.CheckOrRestart(pv, &rs);
+      if (rs) {
+        backoff.Pause();
+        goto restart;
+      }
+    }
+    parent = node;
+    pv = v;
+    node_slot = UpperBound(node, key, value);
+    Node* child = LdP(node->children[node_slot]);
+    node->version.CheckOrRestart(v, &rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+    node = child;
+    v = node->version.ReadLockOrRestart(&rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+  }
+
+  const int idx = LowerBound(node, key, value);
+  const int count = Ld16(node->count);
+  const bool present =
+      idx < count && Ld(node->keys[idx]) == key && Ld(node->vals[idx]) == value;
+  if (!present) {
+    node->version.CheckOrRestart(v, &rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+    return Status::NotFound();
+  }
+
+  // Unlink a leaf this remove drains, provided it has an in-parent left
+  // sibling (the chain predecessor) and the parent keeps >= 1 separator.
+  // The leftmost child and the root stay even when empty — a bounded,
+  // documented leak matching the lazy-delete trade-off.
+  const bool reclaim = options_.reclaim_empty_leaves && count == 1 &&
+                       parent != nullptr && node_slot > 0 &&
+                       Ld16(parent->count) >= 2;
+  if (reclaim) {
+    parent->version.UpgradeToWriteLockOrRestart(pv, &rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+    node->version.UpgradeToWriteLockOrRestart(v, &rs);
+    if (rs) {
+      parent->version.WriteUnlock();
+      backoff.Pause();
+      goto restart;
+    }
+    // Both versions validated: the leaf still holds exactly our entry and
+    // still sits at node_slot. The left sibling is pinned by the parent
+    // lock (obsoleting it would require this parent), so a plain spinning
+    // write lock cannot see it retire.
+    Node* left = LdP(parent->children[node_slot - 1]);
+    left->version.WriteLockOrRestart(&rs);
+    if (rs) {  // unreachable (see above) — but restart rather than corrupt
+      assert(false && "left sibling obsolete under locked parent");
+      node->version.WriteUnlock();
+      parent->version.WriteUnlock();
+      backoff.Pause();
+      goto restart;
+    }
+    assert(LdP(left->next) == node);
+    St16(node->count, 0);
+    StP(left->next, LdP(node->next));
+    const int pc = Ld16(parent->count);
+    for (int i = node_slot - 1; i + 1 < pc; ++i) {
+      St(parent->keys[i], Ld(parent->keys[i + 1]));
+      St(parent->vals[i], Ld(parent->vals[i + 1]));
+    }
+    for (int i = node_slot; i < pc; ++i) {
+      StP(parent->children[i], LdP(parent->children[i + 1]));
+    }
+    St16(parent->count, static_cast<uint16_t>(pc - 1));
+    left->version.WriteUnlock();
+    parent->version.WriteUnlock();
+    node->version.WriteUnlockObsolete();
+    EpochManager::Global().Retire(node, FreeNodeDeleter);
+    CountEvent(Counter::kBtreeLeafReclaims);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  node->version.UpgradeToWriteLockOrRestart(v, &rs);
+  if (rs) {
+    backoff.Pause();
+    goto restart;
+  }
+  if (parent != nullptr) {
+    parent->version.CheckOrRestart(pv, &rs);
+    if (rs) {
+      node->version.WriteUnlock();
+      backoff.Pause();
+      goto restart;
+    }
+  }
+  for (int i = idx; i + 1 < count; ++i) {
+    St(node->keys[i], Ld(node->keys[i + 1]));
+    St(node->vals[i], Ld(node->vals[i + 1]));
+  }
+  St16(node->count, static_cast<uint16_t>(count - 1));
+  node->version.WriteUnlock();
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void BTree::ScanOptimistic(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t key, uint64_t value)>& fn) const {
+  EpochManager::Guard guard(EpochManager::Global());
+  RestartBackoff backoff;
+
+  // Resume cursor: the next pair to deliver is >= (ck, cv). Each leaf's
+  // batch is copied out and version-validated *before* any callback runs,
+  // then the cursor advances past every delivered pair — so a restart
+  // (version conflict or reclaimed leaf on the chain) re-descends without
+  // duplicating or tearing entries.
+  uint64_t ck = lo, cv = 0;
+  uint64_t batch_k[kFanout];
+  uint64_t batch_v[kFanout];
+
+restart:
+  bool rs = false;
+  Node* node = root_.load(std::memory_order_acquire);
+  uint64_t v = node->version.ReadLockOrRestart(&rs);
+  if (rs || node != root_.load(std::memory_order_acquire)) {
+    backoff.Pause();
+    goto restart;
+  }
+  while (!node->leaf) {
+    // Route toward the smallest pair >= (ck, cv): children[i] holds pairs
+    // below separator i, so descend at the first separator > (ck, cv).
+    const int slot = UpperBound(node, ck, cv);
+    Node* child = LdP(node->children[slot]);
+    node->version.CheckOrRestart(v, &rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+    node = child;
+    v = node->version.ReadLockOrRestart(&rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+  }
+
+  for (;;) {
+    int n = 0;
+    bool past_hi = false;
+    const int count = Ld16(node->count);
+    for (int idx = LowerBound(node, ck, cv); idx < count; ++idx) {
+      const uint64_t k = Ld(node->keys[idx]);
+      if (k > hi) {
+        past_hi = true;
+        break;
+      }
+      batch_k[n] = k;
+      batch_v[n] = Ld(node->vals[idx]);
+      ++n;
+    }
+    Node* next = LdP(node->next);
+    node->version.CheckOrRestart(v, &rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (!fn(batch_k[i], batch_v[i])) return;
+      if (batch_v[i] != UINT64_MAX) {
+        ck = batch_k[i];
+        cv = batch_v[i] + 1;
+      } else if (batch_k[i] != UINT64_MAX) {
+        ck = batch_k[i] + 1;
+        cv = 0;
+      } else {
+        return;  // delivered the maximum possible pair; nothing can follow
+      }
+    }
+    if (past_hi || next == nullptr) return;
+    node = next;
+    v = node->version.ReadLockOrRestart(&rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+  }
+}
+
+// ---- legacy latch crabbing (BTreeOptions::SyncMode::kCrabbing) ----
+
+Status BTree::InsertCrabbing(uint64_t key, uint64_t value) {
   // Optimistic pass: shared-latch crabbing, exclusive only at the leaf.
   {
     root_latch_.AcquireShared();
-    Node* node = root_;
+    Node* node = root_.load(std::memory_order_relaxed);
     node->latch.AcquireShared();
     root_latch_.ReleaseShared();
     while (!node->leaf) {
       const int slot = UpperBound(node, key, value);
-      Node* child = node->children[slot];
+      Node* child = LdP(node->children[slot]);
       if (child->leaf) {
         child->latch.AcquireExclusive();
         node->latch.ReleaseShared();
-        if (child->count < kFanout) {
+        if (Ld16(child->count) < kFanout) {
           const bool ok = LeafInsert(child, key, value);
           child->latch.ReleaseExclusive();
           if (!ok) return Status::KeyExists();
@@ -178,19 +578,17 @@ Status BTree::Insert(uint64_t key, uint64_t value) {
 pessimistic:
   // Pessimistic pass: exclusive crabbing with preemptive splits.
   root_latch_.AcquireExclusive();
-  Node* node = root_;
+  Node* node = root_.load(std::memory_order_relaxed);
   node->latch.AcquireExclusive();
-  if (node->count == kFanout) {
-    auto* new_root = new Node();
-    new_root->leaf = false;
-    new_root->count = 0;
-    new_root->children[0] = node;
+  if (Ld16(node->count) == kFanout) {
+    auto* new_root = new Node(/*is_leaf=*/false);
+    StP(new_root->children[0], node);
     SplitChild(new_root, 0, node);
-    root_ = new_root;
+    root_.store(new_root, std::memory_order_release);
     // Keep descending from the new root; it is non-full by construction.
     new_root->latch.AcquireExclusive();
     const int slot = UpperBound(new_root, key, value);
-    Node* child = new_root->children[slot];
+    Node* child = LdP(new_root->children[slot]);
     if (child != node) {
       node->latch.ReleaseExclusive();
       child->latch.AcquireExclusive();
@@ -202,14 +600,14 @@ pessimistic:
 
   while (!node->leaf) {
     const int slot = UpperBound(node, key, value);
-    Node* child = node->children[slot];
+    Node* child = LdP(node->children[slot]);
     child->latch.AcquireExclusive();
-    if (child->count == kFanout) {
+    if (Ld16(child->count) == kFanout) {
       SplitChild(node, slot, child);
       // Which side does the entry go to?
       const int new_slot = UpperBound(node, key, value);
       if (new_slot != slot) {
-        Node* other = node->children[new_slot];
+        Node* other = LdP(node->children[new_slot]);
         child->latch.ReleaseExclusive();
         other->latch.AcquireExclusive();
         child = other;
@@ -226,14 +624,11 @@ pessimistic:
   return Status::OK();
 }
 
-// ---- remove ----
-
-Status BTree::Remove(uint64_t key, uint64_t value) {
-  ScopedComponent comp(Component::kStorage);
+Status BTree::RemoveCrabbing(uint64_t key, uint64_t value) {
   // A node's `leaf` flag is immutable after construction, so it can be read
   // before the node latch: a leaf root is latched exclusively right away.
   root_latch_.AcquireShared();
-  Node* node = root_;
+  Node* node = root_.load(std::memory_order_relaxed);
   if (node->leaf) {
     node->latch.AcquireExclusive();
     root_latch_.ReleaseShared();
@@ -242,7 +637,7 @@ Status BTree::Remove(uint64_t key, uint64_t value) {
     root_latch_.ReleaseShared();
     while (!node->leaf) {
       const int slot = UpperBound(node, key, value);
-      Node* child = node->children[slot];
+      Node* child = LdP(node->children[slot]);
       if (child->leaf) {
         child->latch.AcquireExclusive();
       } else {
@@ -254,22 +649,97 @@ Status BTree::Remove(uint64_t key, uint64_t value) {
   }
 
   const int idx = LowerBound(node, key, value);
-  if (idx >= node->count || node->keys[idx] != key ||
-      node->vals[idx] != value) {
+  const int count = Ld16(node->count);
+  if (idx >= count || Ld(node->keys[idx]) != key ||
+      Ld(node->vals[idx]) != value) {
     node->latch.ReleaseExclusive();
     return Status::NotFound();
   }
-  for (int i = idx; i + 1 < node->count; ++i) {
-    node->keys[i] = node->keys[i + 1];
-    node->vals[i] = node->vals[i + 1];
+  for (int i = idx; i + 1 < count; ++i) {
+    St(node->keys[i], Ld(node->keys[i + 1]));
+    St(node->vals[i], Ld(node->vals[i + 1]));
   }
-  node->count--;
+  St16(node->count, static_cast<uint16_t>(count - 1));
   node->latch.ReleaseExclusive();
   size_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-// ---- lookup / scan ----
+void BTree::ScanCrabbing(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t key, uint64_t value)>& fn) const {
+  root_latch_.AcquireShared();
+  Node* node = root_.load(std::memory_order_relaxed);
+  node->latch.AcquireShared();
+  root_latch_.ReleaseShared();
+
+  while (!node->leaf) {
+    // Route toward the smallest pair >= (lo, 0): children[i] holds pairs
+    // below separator i, so descend at the first separator > (lo, 0).
+    // A separator equal to (lo, 0) sends us right, where the pair lives.
+    const int slot = UpperBound(node, lo, 0);
+    Node* child = LdP(node->children[slot]);
+    child->latch.AcquireShared();
+    node->latch.ReleaseShared();
+    node = child;
+  }
+
+  int idx = LowerBound(node, lo, 0);
+  for (;;) {
+    if (idx >= Ld16(node->count)) {
+      Node* next = LdP(node->next);
+      if (next == nullptr) {
+        node->latch.ReleaseShared();
+        return;
+      }
+      next->latch.AcquireShared();
+      node->latch.ReleaseShared();
+      node = next;
+      idx = 0;
+      continue;
+    }
+    const uint64_t k = Ld(node->keys[idx]);
+    const uint64_t v = Ld(node->vals[idx]);
+    if (k > hi) {
+      node->latch.ReleaseShared();
+      return;
+    }
+    if (k >= lo) {
+      if (!fn(k, v)) {
+        node->latch.ReleaseShared();
+        return;
+      }
+    }
+    ++idx;
+  }
+}
+
+// ---- public dispatch ----
+
+Status BTree::Insert(uint64_t key, uint64_t value) {
+  ScopedComponent comp(Component::kStorage);
+  return options_.sync_mode == BTreeOptions::SyncMode::kOptimistic
+             ? InsertOptimistic(key, value)
+             : InsertCrabbing(key, value);
+}
+
+Status BTree::Remove(uint64_t key, uint64_t value) {
+  ScopedComponent comp(Component::kStorage);
+  return options_.sync_mode == BTreeOptions::SyncMode::kOptimistic
+             ? RemoveOptimistic(key, value)
+             : RemoveCrabbing(key, value);
+}
+
+void BTree::Scan(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t key, uint64_t value)>& fn) const {
+  ScopedComponent comp(Component::kStorage);
+  if (options_.sync_mode == BTreeOptions::SyncMode::kOptimistic) {
+    ScanOptimistic(lo, hi, fn);
+  } else {
+    ScanCrabbing(lo, hi, fn);
+  }
+}
 
 Status BTree::Lookup(uint64_t key, uint64_t* value) const {
   bool found = false;
@@ -287,56 +757,6 @@ void BTree::LookupAll(uint64_t key, std::vector<uint64_t>* values) const {
     values->push_back(v);
     return true;
   });
-}
-
-void BTree::Scan(
-    uint64_t lo, uint64_t hi,
-    const std::function<bool(uint64_t key, uint64_t value)>& fn) const {
-  ScopedComponent comp(Component::kStorage);
-  root_latch_.AcquireShared();
-  Node* node = root_;
-  node->latch.AcquireShared();
-  root_latch_.ReleaseShared();
-
-  while (!node->leaf) {
-    // Route toward the smallest pair >= (lo, 0): children[i] holds pairs
-    // below separator i, so descend at the first separator > (lo, 0).
-    // A separator equal to (lo, 0) sends us right, where the pair lives.
-    const int slot = UpperBound(node, lo, 0);
-    Node* child = node->children[slot];
-    child->latch.AcquireShared();
-    node->latch.ReleaseShared();
-    node = child;
-  }
-
-  int idx = LowerBound(node, lo, 0);
-  for (;;) {
-    if (idx >= node->count) {
-      Node* next = node->next;
-      if (next == nullptr) {
-        node->latch.ReleaseShared();
-        return;
-      }
-      next->latch.AcquireShared();
-      node->latch.ReleaseShared();
-      node = next;
-      idx = 0;
-      continue;
-    }
-    const uint64_t k = node->keys[idx];
-    const uint64_t v = node->vals[idx];
-    if (k > hi) {
-      node->latch.ReleaseShared();
-      return;
-    }
-    if (k >= lo) {
-      if (!fn(k, v)) {
-        node->latch.ReleaseShared();
-        return;
-      }
-    }
-    ++idx;
-  }
 }
 
 void BTree::ScanReverse(
@@ -362,46 +782,47 @@ namespace {
 bool CheckNode(const BTree::Node* n, bool is_root, uint64_t* first_k,
                uint64_t* first_v, uint64_t* last_k, uint64_t* last_v,
                uint64_t* leaf_entries) {
+  const int count = Ld16(n->count);
   // Sorted, unique (key,value) pairs within the node.
-  for (int i = 1; i < n->count; ++i) {
-    if (!PairLess(n->keys[i - 1], n->vals[i - 1], n->keys[i], n->vals[i])) {
+  for (int i = 1; i < count; ++i) {
+    if (!PairLess(Ld(n->keys[i - 1]), Ld(n->vals[i - 1]), Ld(n->keys[i]),
+                  Ld(n->vals[i]))) {
       return false;
     }
   }
-  // Lazy deletion may drain a leaf completely without unlinking it; only
-  // internal nodes are required to stay populated.
-  if (!is_root && n->count == 0 && !n->leaf) return false;
+  // Lazy deletion may drain a leaf completely without unlinking it (no
+  // in-parent left sibling); only internal nodes must stay populated.
+  if (!is_root && count == 0 && !n->leaf) return false;
   if (n->leaf) {
-    *leaf_entries += n->count;
-    if (n->count > 0) {
-      *first_k = n->keys[0];
-      *first_v = n->vals[0];
-      *last_k = n->keys[n->count - 1];
-      *last_v = n->vals[n->count - 1];
+    *leaf_entries += count;
+    if (count > 0) {
+      *first_k = Ld(n->keys[0]);
+      *first_v = Ld(n->vals[0]);
+      *last_k = Ld(n->keys[count - 1]);
+      *last_v = Ld(n->vals[count - 1]);
     }
     return true;
   }
   // Children ranges must respect separators.
-  for (int i = 0; i <= n->count; ++i) {
+  for (int i = 0; i <= count; ++i) {
     uint64_t cfk = 0, cfv = 0, clk = 0, clv = 0;
-    if (!CheckNode(n->children[i], false, &cfk, &cfv, &clk, &clv,
-                   leaf_entries)) {
+    const BTree::Node* child = LdP(n->children[i]);
+    if (!CheckNode(child, false, &cfk, &cfv, &clk, &clv, leaf_entries)) {
       return false;
     }
-    if (n->children[i]->count == 0) continue;
-    if (i > 0 &&
-        PairLess(cfk, cfv, n->keys[i - 1], n->vals[i - 1])) {
+    if (Ld16(child->count) == 0) continue;
+    if (i > 0 && PairLess(cfk, cfv, Ld(n->keys[i - 1]), Ld(n->vals[i - 1]))) {
       return false;  // child min below left separator
     }
-    if (i < n->count && PairLess(n->keys[i], n->vals[i], clk, clv)) {
+    if (i < count && PairLess(Ld(n->keys[i]), Ld(n->vals[i]), clk, clv)) {
       return false;  // child max above right separator
     }
   }
-  if (n->count > 0) {
-    *first_k = n->keys[0];
-    *first_v = n->vals[0];
-    *last_k = n->keys[n->count - 1];
-    *last_v = n->vals[n->count - 1];
+  if (count > 0) {
+    *first_k = Ld(n->keys[0]);
+    *first_v = Ld(n->vals[0]);
+    *last_k = Ld(n->keys[count - 1]);
+    *last_v = Ld(n->vals[count - 1]);
   }
   return true;
 }
@@ -410,7 +831,10 @@ bool CheckNode(const BTree::Node* n, bool is_root, uint64_t* first_k,
 
 bool BTree::CheckInvariants() const {
   uint64_t fk = 0, fv = 0, lk = 0, lv = 0, leaf_entries = 0;
-  if (!CheckNode(root_, true, &fk, &fv, &lk, &lv, &leaf_entries)) return false;
+  if (!CheckNode(root_.load(std::memory_order_acquire), true, &fk, &fv, &lk,
+                 &lv, &leaf_entries)) {
+    return false;
+  }
   return leaf_entries == size();
 }
 

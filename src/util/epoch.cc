@@ -1,0 +1,171 @@
+#include "src/util/epoch.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/stats/counters.h"
+
+namespace slidb {
+
+namespace {
+
+// Cross-manager slot registry: a thread claims one index on first use and
+// keeps it for its lifetime, so every EpochManager indexes its slot array
+// with the same (stable) value and Guard construction does no allocation.
+// The claim/release RMWs on the bitmap order slot-struct handoff between a
+// dying thread and a later claimant of the same index.
+std::atomic<uint64_t> g_slot_bitmap[EpochManager::kMaxThreads / 64];
+
+size_t ClaimSlot() {
+  for (size_t w = 0; w < EpochManager::kMaxThreads / 64; ++w) {
+    uint64_t bits = g_slot_bitmap[w].load(std::memory_order_relaxed);
+    while (bits != UINT64_MAX) {
+      const int bit = std::countr_one(bits);
+      if (g_slot_bitmap[w].compare_exchange_weak(
+              bits, bits | (uint64_t{1} << bit), std::memory_order_acq_rel)) {
+        return w * 64 + static_cast<size_t>(bit);
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "EpochManager: more than %zu concurrent threads; raise "
+               "kMaxThreads\n",
+               EpochManager::kMaxThreads);
+  std::abort();
+}
+
+struct SlotOwner {
+  size_t idx = ClaimSlot();
+  ~SlotOwner() {
+    g_slot_bitmap[idx / 64].fetch_and(~(uint64_t{1} << (idx % 64)),
+                                      std::memory_order_acq_rel);
+  }
+};
+
+}  // namespace
+
+size_t EpochManager::ThreadSlot() {
+  thread_local SlotOwner owner;
+  return owner.idx;
+}
+
+EpochManager::EpochManager() : slots_(std::make_unique<Slot[]>(kMaxThreads)) {}
+
+EpochManager::~EpochManager() {
+  // Teardown contract: no guards active, so everything pending is free.
+  SpinLatchGuard g(retire_latch_);
+  Retiree* r = retired_head_;
+  retired_head_ = nullptr;
+  while (r != nullptr) {
+    Retiree* next = r->next;
+    r->deleter(r->ptr);
+    delete r;
+    r = next;
+  }
+  pending_.store(0, std::memory_order_release);
+}
+
+void EpochManager::Enter(size_t slot) {
+  Slot& s = slots_[slot];
+  if (s.depth++ > 0) return;  // nested guard: outer announcement stands
+  // Announce-and-verify loop: publish an entry epoch, then confirm the
+  // global epoch did not advance past it while the store was in flight. A
+  // reclaimer whose slot scan missed the store is ordered (seq_cst) before
+  // the re-read, so the loop converges on an epoch the reclaimer either
+  // saw or published itself — never one it already waited out.
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    s.epoch.store(e, std::memory_order_seq_cst);
+    const uint64_t e2 = global_epoch_.load(std::memory_order_seq_cst);
+    if (e2 == e) break;
+    e = e2;
+  }
+}
+
+void EpochManager::Exit(size_t slot) {
+  Slot& s = slots_[slot];
+  if (--s.depth == 0) {
+    s.epoch.store(kIdleEpoch, std::memory_order_release);
+  }
+}
+
+void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
+  auto* r = new Retiree{ptr, deleter, 0, nullptr};
+  // The fetch_add both tags the retiree and publishes the unlink: any
+  // thread whose guard later reads the advanced epoch synchronizes with
+  // this RMW and therefore sees the structure without `ptr`.
+  r->epoch = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  size_t pending;
+  {
+    SpinLatchGuard g(retire_latch_);
+    r->next = retired_head_;
+    retired_head_ = r;
+    pending = pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  total_retired_.fetch_add(1, std::memory_order_relaxed);
+  CountEvent(Counter::kEpochRetired);
+  if (pending >= kReclaimBatch) ReclaimSome();
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min = kIdleEpoch;
+  for (size_t i = 0; i < kMaxThreads; ++i) {
+    const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e < min) min = e;
+  }
+  return min;
+}
+
+size_t EpochManager::ReclaimSome() {
+  Retiree* list;
+  {
+    SpinLatchGuard g(retire_latch_);
+    list = retired_head_;
+    retired_head_ = nullptr;
+    pending_.store(0, std::memory_order_release);
+  }
+  if (list == nullptr) return 0;
+
+  // A retiree tagged e is safe once every active slot announces > e: such
+  // guards began after the retire-time epoch advance, hence after the
+  // unlink it published. Idle slots cannot re-reach unlinked memory at all.
+  const uint64_t min_active = MinActiveEpoch();
+
+  size_t freed = 0;
+  Retiree* keep_head = nullptr;
+  Retiree* keep_tail = nullptr;
+  size_t kept = 0;
+  while (list != nullptr) {
+    Retiree* next = list->next;
+    if (list->epoch < min_active) {
+      list->deleter(list->ptr);
+      delete list;
+      ++freed;
+    } else {
+      list->next = keep_head;
+      keep_head = list;
+      if (keep_tail == nullptr) keep_tail = list;
+      ++kept;
+    }
+    list = next;
+  }
+  if (keep_head != nullptr) {
+    SpinLatchGuard g(retire_latch_);
+    keep_tail->next = retired_head_;
+    retired_head_ = keep_head;
+    pending_.fetch_add(kept, std::memory_order_acq_rel);
+  }
+  if (freed > 0) {
+    total_freed_.fetch_add(freed, std::memory_order_relaxed);
+    CountEvent(Counter::kEpochFreed, freed);
+  }
+  return freed;
+}
+
+EpochManager& EpochManager::Global() {
+  static EpochManager mgr;
+  return mgr;
+}
+
+}  // namespace slidb

@@ -35,6 +35,23 @@ void SpinLatch::SlowAcquire() {
   }
 }
 
+uint64_t OptLatch::AwaitUnlocked() const {
+  const uint64_t start = RdCycles();
+  int spins = 0;
+  uint64_t v;
+  while ((v = word_.load(std::memory_order_acquire)) & kLockedBit) {
+    latch_internal::CpuRelax();
+    if (++spins >= kSpinsBeforeYield) {
+      latch_internal::OsYield();
+      spins = 0;
+    }
+  }
+  if (ThreadProfile* p = ThreadProfile::Current()) {
+    p->AttributeContention(start, RdCycles());
+  }
+  return v;
+}
+
 bool RwLatch::TryAcquireShared() {
   int32_t v = state_.load(std::memory_order_relaxed);
   while (v >= 0) {

@@ -1,6 +1,7 @@
 // B+-tree tests: ordering, duplicates, splits, scans, invariants, and
 // concurrent stress. Parameterized sweeps cover size regimes around node
-// split boundaries.
+// split boundaries, and run under both synchronization protocols
+// (optimistic lock coupling and the legacy crabbing baseline).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +14,18 @@
 
 namespace slidb {
 namespace {
+
+using SyncMode = BTreeOptions::SyncMode;
+
+BTreeOptions WithMode(SyncMode mode) {
+  BTreeOptions opts;
+  opts.sync_mode = mode;
+  return opts;
+}
+
+std::string ModeName(SyncMode mode) {
+  return mode == SyncMode::kOptimistic ? "olc" : "crabbing";
+}
 
 TEST(BTreeTest, EmptyTree) {
   BTree tree;
@@ -55,11 +68,16 @@ TEST(BTreeTest, RemoveExactPair) {
   EXPECT_EQ(tree.size(), 1u);
 }
 
-class BTreeSizeSweep : public ::testing::TestWithParam<int> {};
+class BTreeSizeSweep
+    : public ::testing::TestWithParam<std::tuple<int, SyncMode>> {
+ protected:
+  int size_param() const { return std::get<0>(GetParam()); }
+  BTreeOptions opts() const { return WithMode(std::get<1>(GetParam())); }
+};
 
 TEST_P(BTreeSizeSweep, SequentialInsertAllFound) {
-  const int n = GetParam();
-  BTree tree;
+  const int n = size_param();
+  BTree tree(opts());
   for (int i = 0; i < n; ++i) {
     ASSERT_TRUE(tree.Insert(i, i * 10).ok()) << i;
   }
@@ -73,8 +91,8 @@ TEST_P(BTreeSizeSweep, SequentialInsertAllFound) {
 }
 
 TEST_P(BTreeSizeSweep, ReverseInsertAllFound) {
-  const int n = GetParam();
-  BTree tree;
+  const int n = size_param();
+  BTree tree(opts());
   for (int i = n - 1; i >= 0; --i) {
     ASSERT_TRUE(tree.Insert(i, i + 1).ok());
   }
@@ -92,8 +110,8 @@ TEST_P(BTreeSizeSweep, ReverseInsertAllFound) {
 }
 
 TEST_P(BTreeSizeSweep, RandomInsertRemoveConsistent) {
-  const int n = GetParam();
-  BTree tree;
+  const int n = size_param();
+  BTree tree(opts());
   Rng rng(n);
   std::set<uint64_t> model;
   for (int i = 0; i < n; ++i) {
@@ -116,10 +134,18 @@ TEST_P(BTreeSizeSweep, RandomInsertRemoveConsistent) {
   }
 }
 
-// Sizes straddle the 64-entry leaf boundary, two levels, and three levels.
-INSTANTIATE_TEST_SUITE_P(Sizes, BTreeSizeSweep,
-                         ::testing::Values(1, 63, 64, 65, 128, 1000, 5000,
-                                           20000));
+// Sizes straddle the 64-entry leaf boundary, two levels, and three levels;
+// every size runs under both synchronization protocols.
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BTreeSizeSweep,
+    ::testing::Combine(::testing::Values(1, 63, 64, 65, 128, 1000, 5000,
+                                         20000),
+                       ::testing::Values(SyncMode::kOptimistic,
+                                         SyncMode::kCrabbing)),
+    [](const ::testing::TestParamInfo<std::tuple<int, SyncMode>>& info) {
+      return ModeName(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<0>(info.param));
+    });
 
 TEST(BTreeTest, RangeScanBounds) {
   BTree tree;
@@ -172,8 +198,10 @@ TEST(BTreeTest, ReverseScanNewestFirst) {
   EXPECT_EQ(newest, 30u);
 }
 
-TEST(BTreeTest, ConcurrentInsertersDisjointRanges) {
-  BTree tree;
+class BTreeConcurrentModeTest : public ::testing::TestWithParam<SyncMode> {};
+
+TEST_P(BTreeConcurrentModeTest, ConcurrentInsertersDisjointRanges) {
+  BTree tree(WithMode(GetParam()));
   constexpr int kThreads = 4;
   constexpr int kEach = 5000;
   std::vector<std::thread> threads;
@@ -195,8 +223,8 @@ TEST(BTreeTest, ConcurrentInsertersDisjointRanges) {
   }
 }
 
-TEST(BTreeTest, ConcurrentMixedReadersWriters) {
-  BTree tree;
+TEST_P(BTreeConcurrentModeTest, ConcurrentMixedReadersWriters) {
+  BTree tree(WithMode(GetParam()));
   for (uint64_t i = 0; i < 10000; i += 2) ASSERT_TRUE(tree.Insert(i, i).ok());
 
   std::atomic<bool> stop{false};
@@ -229,8 +257,8 @@ TEST(BTreeTest, ConcurrentMixedReadersWriters) {
   EXPECT_TRUE(tree.CheckInvariants());
 }
 
-TEST(BTreeTest, ConcurrentSameKeyDifferentValues) {
-  BTree tree;
+TEST_P(BTreeConcurrentModeTest, ConcurrentSameKeyDifferentValues) {
+  BTree tree(WithMode(GetParam()));
   constexpr int kThreads = 4;
   constexpr int kEach = 1000;
   std::vector<std::thread> threads;
@@ -249,6 +277,13 @@ TEST(BTreeTest, ConcurrentSameKeyDifferentValues) {
   EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
   EXPECT_TRUE(tree.CheckInvariants());
 }
+
+INSTANTIATE_TEST_SUITE_P(Modes, BTreeConcurrentModeTest,
+                         ::testing::Values(SyncMode::kOptimistic,
+                                           SyncMode::kCrabbing),
+                         [](const ::testing::TestParamInfo<SyncMode>& info) {
+                           return ModeName(info.param);
+                         });
 
 }  // namespace
 }  // namespace slidb

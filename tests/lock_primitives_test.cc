@@ -5,7 +5,10 @@
 
 #include "src/lock/agent_sli.h"
 #include "src/lock/lock_cache.h"
+#include "src/lock/lock_client.h"
 #include "src/lock/lock_head.h"
+#include "src/lock/lock_table.h"
+#include "src/stats/counters.h"
 
 namespace slidb {
 namespace {
@@ -366,6 +369,48 @@ TEST(LockHeadTest, MaskExcludingRemovesSoleContribution) {
   head.SummaryAdd(c.mode);
   EXPECT_EQ(head.MaskExcluding(&a),
             ModeBit(LockMode::kS) | ModeBit(LockMode::kIX));
+}
+
+TEST(LockClientWakeTest, WakeSkipsMutexWhenNobodyCanBeParked) {
+  CounterSet counters;
+  ScopedCounterSet routed(&counters);
+  LockClient c;
+  // Nobody inside a wait window: the fast path skips the mutex.
+  c.Wake();
+  EXPECT_EQ(counters.Get(Counter::kLockWakeFast), 1u);
+  // Inside the window, Wake must take the slow (mutex + notify) path.
+  c.BeginWaitWindow();
+  c.Wake();
+  EXPECT_EQ(counters.Get(Counter::kLockWakeFast), 1u);
+  c.EndWaitWindow();
+  c.Wake();
+  EXPECT_EQ(counters.Get(Counter::kLockWakeFast), 2u);
+}
+
+TEST(LockTableTest, WaiterAwareIterationSkipsIdleBuckets) {
+  LockTable table(16);
+  LockHead* h = table.FindOrCreate(LockId::Table(0, 1));
+  ASSERT_NE(h->bucket_waiters, nullptr);
+
+  int visited = 0;
+  table.ForEachHead([&](LockHead*) { ++visited; });
+  EXPECT_EQ(visited, 1);  // full iteration still sees the head
+
+  visited = 0;
+  table.ForEachHeadWithWaiters([&](LockHead*) { ++visited; });
+  EXPECT_EQ(visited, 0);  // no waiters anywhere: every bucket skipped
+
+  h->AddWaiter();
+  visited = 0;
+  table.ForEachHeadWithWaiters([&](LockHead*) { ++visited; });
+  EXPECT_EQ(visited, 1);
+
+  h->RemoveWaiter();
+  visited = 0;
+  table.ForEachHeadWithWaiters([&](LockHead*) { ++visited; });
+  EXPECT_EQ(visited, 0);
+
+  table.Unpin(h);
 }
 
 }  // namespace

@@ -50,8 +50,15 @@ TEST(LogTest, GroupCommitBatchesFlushes) {
   for (auto& th : threads) th.join();
   const LogStats stats = log.Stats();
   EXPECT_EQ(stats.records, kThreads * kCommitsEach);
-  // Group commit: far fewer flushes than commits.
-  EXPECT_LT(stats.flushes, stats.records);
+  // Group commit: far fewer flushes than commits. On a single hardware
+  // context commits can fully serialize (each WaitDurable kicks its own
+  // flush), so the batching assertion is gated per the ROADMAP flakiness
+  // note.
+  if (std::thread::hardware_concurrency() >= 2) {
+    EXPECT_LT(stats.flushes, stats.records);
+  } else {
+    EXPECT_LE(stats.flushes, stats.records);
+  }
 }
 
 TEST(LogTest, NonDurableModeSkipsWaiting) {
