@@ -1,16 +1,66 @@
 #include "src/engine/database.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace slidb {
 
-Database::Database(DatabaseOptions options) : options_(options) {
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
   volume_ = std::make_unique<Volume>();
   buffer_pool_ = std::make_unique<BufferPool>(volume_.get(), options_.buffer);
+  if (!options_.log_path.empty() && !options_.log.flush_sink) {
+    std::unique_ptr<FileLogDevice> device;
+    const Status st = FileLogDevice::Open(
+        options_.log_path, options_.log_sync_each_flush, &device);
+    if (!st.ok()) {
+      // Fail-stop: the caller configured a durable log; silently running
+      // sink-less would ack commits that exist nowhere but RAM.
+      std::fprintf(stderr, "slidb: cannot open log device %s (%s)\n",
+                   options_.log_path.c_str(), st.ToString().c_str());
+      std::abort();
+    }
+    log_device_ = std::move(device);
+    AttachLogDevice(&options_.log, log_device_.get());
+  }
   log_manager_ = std::make_unique<LogManager>(options_.log);
   lock_manager_ = std::make_unique<LockManager>(options_.lock);
   txn_manager_ = std::make_unique<TransactionManager>(
       lock_manager_.get(), log_manager_.get(), options_.txn);
+}
+
+Status Database::Recover(const std::string& path, RecoveryReport* report) {
+  std::vector<uint8_t> stream;
+  SLIDB_RETURN_NOT_OK(FileLogDevice::ReadFile(path, &stream));
+  return RecoverFromStream(std::move(stream), report);
+}
+
+Status Database::RecoverFromStream(std::vector<uint8_t> stream,
+                                   RecoveryReport* report) {
+  RecoveryManager recovery(std::move(stream));
+  recovery.Scan();
+  const Status st = recovery.Replay(&catalog_);
+  txn_manager_->EnsureNextTxnIdAbove(recovery.report().max_txn_id);
+  if (st.ok() && recovery.report().records_replayed > 0) {
+    // Make the new WAL self-contained: the replayed state exists nowhere in
+    // it (redo was applied directly to storage), so without this snapshot a
+    // SECOND crash would recover only post-recovery transactions. Re-log
+    // every committed redo record under one synthetic snapshot transaction
+    // and harden it before traffic starts.
+    const uint64_t snap_txn = recovery.report().max_txn_id + 1;
+    recovery.ForEachCommittedRedo(
+        [&](const LogRecordHeader& hdr, const uint8_t* payload) {
+          log_manager_->Append(snap_txn,
+                               static_cast<LogRecordType>(hdr.type), payload,
+                               hdr.payload_len);
+        });
+    const Lsn end =
+        log_manager_->Append(snap_txn, LogRecordType::kCommit, nullptr, 0);
+    log_manager_->WaitDurable(end);
+    txn_manager_->EnsureNextTxnIdAbove(snap_txn);
+  }
+  if (report != nullptr) *report = recovery.report();
+  return st;
 }
 
 TableId Database::CreateTable(const std::string& name) {
@@ -52,24 +102,6 @@ Status Database::LockRow(AgentContext* agent, TableId table, Rid rid,
       c, LockId::Row(options_.db_id, table, rid.page_no, rid.slot), mode);
 }
 
-void Database::LogRowOp(AgentContext* agent, LogRecordType type, TableId table,
-                        Rid rid, std::span<const uint8_t> rec) {
-  // Compact physiological record: table + rid header, then the after-image.
-  struct Header {
-    uint32_t table;
-    uint16_t slot;
-    uint8_t pad[2];
-    uint64_t page_no;
-  } hdr{table, rid.slot, {0, 0}, rid.page_no};
-  uint8_t buf[sizeof(Header) + 1024];
-  const size_t body = rec.size() < 1024 ? rec.size() : 1024;
-  std::memcpy(buf, &hdr, sizeof(hdr));
-  if (body > 0) std::memcpy(buf + sizeof(hdr), rec.data(), body);
-  log_manager_->Append(agent->txn().id(), type, buf,
-                       static_cast<uint32_t>(sizeof(hdr) + body));
-  agent->txn().AddLogBytes(sizeof(hdr) + body);
-}
-
 Status Database::Insert(AgentContext* agent, TableId table,
                         std::span<const uint8_t> rec, Rid* rid) {
   // Announce write intent on the table before touching pages.
@@ -87,7 +119,7 @@ Status Database::Insert(AgentContext* agent, TableId table,
     heap->Delete(*rid);
     return lock_st;
   }
-  LogRowOp(agent, LogRecordType::kInsert, table, *rid, rec);
+  txn_manager_->LogHeapOp(agent, LogRecordType::kInsert, table, *rid, rec);
   const Rid undo_rid = *rid;
   agent->txn().AddUndo([heap, undo_rid] { heap->Delete(undo_rid); });
   return Status::OK();
@@ -113,7 +145,7 @@ Status Database::Update(AgentContext* agent, TableId table, Rid rid,
   std::string before;
   SLIDB_RETURN_NOT_OK(heap->Read(rid, &before));
   SLIDB_RETURN_NOT_OK(heap->Update(rid, rec));
-  LogRowOp(agent, LogRecordType::kUpdate, table, rid, rec);
+  txn_manager_->LogHeapOp(agent, LogRecordType::kUpdate, table, rid, rec);
   agent->txn().AddUndo([heap, rid, before = std::move(before)] {
     heap->Update(rid, {reinterpret_cast<const uint8_t*>(before.data()),
                        before.size()});
@@ -127,7 +159,7 @@ Status Database::Delete(AgentContext* agent, TableId table, Rid rid) {
   std::string before;
   SLIDB_RETURN_NOT_OK(heap->Read(rid, &before));
   SLIDB_RETURN_NOT_OK(heap->Delete(rid));
-  LogRowOp(agent, LogRecordType::kDelete, table, rid, {});
+  txn_manager_->LogHeapOp(agent, LogRecordType::kDelete, table, rid, {});
   agent->txn().AddUndo([this, table, rid, before = std::move(before)] {
     // Restore at the same RID so surviving index entries stay valid.
     HeapFile* h = catalog_.table(table).heap.get();
@@ -174,6 +206,8 @@ Status Database::IndexInsert(AgentContext* agent, IndexId index, uint64_t key,
       return Status::KeyExists("unique index");
     }
   }
+  txn_manager_->LogIndexOp(agent, LogRecordType::kIndexInsert, index, key,
+                           value);
   IndexInfo* pinfo = &info;
   agent->txn().AddUndo([pinfo, key, value] {
     if (pinfo->kind == IndexKind::kBTree) {
@@ -192,6 +226,8 @@ Status Database::IndexRemove(AgentContext* agent, IndexId index, uint64_t key,
                         ? info.btree->Remove(key, value)
                         : info.hash->Remove(key, value);
   if (!st.ok()) return st;
+  txn_manager_->LogIndexOp(agent, LogRecordType::kIndexRemove, index, key,
+                           value);
   IndexInfo* pinfo = &info;
   agent->txn().AddUndo([pinfo, key, value] {
     if (pinfo->kind == IndexKind::kBTree) {

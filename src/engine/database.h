@@ -15,7 +15,9 @@
 #include "src/buffer/volume.h"
 #include "src/engine/catalog.h"
 #include "src/lock/lock_manager.h"
+#include "src/log/log_device.h"
 #include "src/log/log_manager.h"
+#include "src/log/recovery.h"
 #include "src/txn/agent.h"
 #include "src/txn/transaction_manager.h"
 #include "src/util/status.h"
@@ -31,6 +33,14 @@ struct DatabaseOptions {
   /// Row-level locking (default). When false, data ops take full-table
   /// S/X locks — the coarse-granularity ablation.
   bool row_locking = true;
+  /// When non-empty, the WAL is persisted to this file (FileLogDevice
+  /// behind log.flush_sink) and Recover(log_path) can rebuild state after a
+  /// crash. Ignored if log.flush_sink is already set (tests install
+  /// capture/crash sinks there).
+  std::string log_path;
+  /// fsync the log file on every flush (the durability contract across
+  /// host crashes). Off trades that for bench throughput.
+  bool log_sync_each_flush = true;
 };
 
 class Database {
@@ -56,6 +66,28 @@ class Database {
   Transaction* Begin(AgentContext* agent);
   Status Commit(AgentContext* agent);
   void Abort(AgentContext* agent);
+
+  // ---- crash recovery ----
+  // Call on a freshly-constructed database after re-creating the schema
+  // (same CreateTable/CreateIndex order as the crashed run) and before any
+  // transactions: redo records address tables and indexes by catalog
+  // position, and replay assumes empty storage.
+  //
+  // Restart-in-place is supported: constructing with the SAME log_path as
+  // the crashed run is safe, because the file device defers truncation to
+  // its first write and recovery re-logs the recovered state into the new
+  // WAL as a durable snapshot before returning — the new log is
+  // self-contained across a second crash. (A crash *during* the snapshot
+  // write itself still loses data; write-new-then-rename rotation is a
+  // ROADMAP follow-up.)
+
+  /// Recover from a durable log file written via DatabaseOptions::log_path.
+  Status Recover(const std::string& path, RecoveryReport* report = nullptr);
+
+  /// Recover from an already-read durable byte stream (crash-test harness
+  /// path). Also restarts the txn-id space above every recovered id.
+  Status RecoverFromStream(std::vector<uint8_t> stream,
+                           RecoveryReport* report = nullptr);
 
   // ---- transactional row operations (2PL) ----
 
@@ -106,6 +138,9 @@ class Database {
 
   LockManager& lock_manager() { return *lock_manager_; }
   LogManager& log_manager() { return *log_manager_; }
+  /// The durable log device, or nullptr when the log is sink-less /
+  /// test-captured (no DatabaseOptions::log_path).
+  LogDevice* log_device() { return log_device_.get(); }
   BufferPool& buffer_pool() { return *buffer_pool_; }
   TransactionManager& txn_manager() { return *txn_manager_; }
   Catalog& catalog() { return catalog_; }
@@ -118,12 +153,13 @@ class Database {
 
  private:
   Status LockRow(AgentContext* agent, TableId table, Rid rid, LockMode mode);
-  void LogRowOp(AgentContext* agent, LogRecordType type, TableId table,
-                Rid rid, std::span<const uint8_t> rec);
 
   DatabaseOptions options_;
   std::unique_ptr<Volume> volume_;
   std::unique_ptr<BufferPool> buffer_pool_;
+  // Declared before log_manager_: the flusher drains into the device's
+  // sink during LogManager teardown, so the device must be destroyed after.
+  std::unique_ptr<LogDevice> log_device_;
   std::unique_ptr<LogManager> log_manager_;
   std::unique_ptr<LockManager> lock_manager_;
   std::unique_ptr<TransactionManager> txn_manager_;

@@ -35,9 +35,19 @@ class LockClient {
     agent_id_ = agent_id;
     held_head_ = nullptr;
     cache_.Clear();
+    dep_lsn_ = 0;
     deadlock_victim_.store(false, std::memory_order_relaxed);
     waiting_on_.store(nullptr, std::memory_order_relaxed);
   }
+
+  /// Record a durability dependency: the acquired head was last written by
+  /// a transaction whose commit record ends at `lsn` (0 = none). A
+  /// read-only commit waits for durable >= dep_lsn() so it can never
+  /// report state an early-released, crash-lost writer produced.
+  void NoteDep(uint64_t lsn) {
+    if (lsn > dep_lsn_) dep_lsn_ = lsn;
+  }
+  uint64_t dep_lsn() const { return dep_lsn_; }
 
   uint64_t txn_id() const { return txn_id_; }
   uint32_t agent_id() const { return agent_id_; }
@@ -104,6 +114,7 @@ class LockClient {
 
  private:
   uint64_t txn_id_ = 0;
+  uint64_t dep_lsn_ = 0;  ///< max durability dependency (single-threaded)
   uint32_t agent_id_ = 0;
   LockRequest* held_head_ = nullptr;
   LockCache cache_;

@@ -118,6 +118,15 @@ struct LockHead {
 
   HotTracker hot;
 
+  /// Commit LSN of the latest write-mode holder (X/SIX/U/IX) that released
+  /// or inherited this lock — the durability horizon a later acquirer of
+  /// this head depends on under early lock release (see TransactionManager
+  /// read-only commit). Monotone max; stamped under the head latch on
+  /// release and latch-free (CAS max) on SLI inheritance; read with
+  /// acquire by acquirers. Survives head reclamation via the bucket's
+  /// retired_dep fold (LockTable).
+  std::atomic<uint64_t> last_commit_lsn{0};
+
   /// FIFO request queue (paper Figure 3). Granted requests live at the
   /// front, waiters behind them, strictly in arrival order.
   LockRequest* q_head = nullptr;
@@ -126,6 +135,16 @@ struct LockHead {
   /// References that keep this head alive: one per linked request plus one
   /// per thread currently operating on the head outside the bucket latch.
   std::atomic<uint32_t> pin_count{0};
+
+  /// Monotone max-fold into last_commit_lsn (release/relaxed CAS loop).
+  void StampCommitLsn(uint64_t lsn) {
+    uint64_t cur = last_commit_lsn.load(std::memory_order_relaxed);
+    while (cur < lsn &&
+           !last_commit_lsn.compare_exchange_weak(cur, lsn,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
 
   /// Hash chain link, protected by the bucket latch. Doubles as the
   /// free-list link while the head sits in a bucket's reuse pool.

@@ -23,6 +23,15 @@ namespace {
 /// Maximum hierarchy depth (database → table → page → row).
 constexpr int kMaxDepth = 8;
 
+/// Modes whose holder may have written data this lock protects (directly,
+/// or via children under an intent mode). Only these stamp the durability
+/// horizon at release — pure read modes (S/IS) protect nothing a reader
+/// could lose in a crash.
+bool IsWriteClassMode(LockMode m) {
+  return m == LockMode::kX || m == LockMode::kSIX || m == LockMode::kU ||
+         m == LockMode::kIX;
+}
+
 }  // namespace
 
 void WakeBatch::Flush() {
@@ -263,6 +272,7 @@ Status LockManager::AcquireNew(LockClient* c, const LockId& id,
     h->Append(req);
     h->SummaryAdd(mode);
     SLIDB_DCHECK_SUMMARY(h);
+    c->NoteDep(h->last_commit_lsn.load(std::memory_order_relaxed));
     h->latch.Release();
     c->cache().Insert(id, req);
     c->PushHeld(req);
@@ -282,6 +292,10 @@ Status LockManager::AcquireNew(LockClient* c, const LockId& id,
   const Status st = WaitForGrant(c, req, &granted_anyway);
   c->waiting_on().store(nullptr, std::memory_order_release);
   if (st.ok() || granted_anyway) {
+    // Ordered by the granter's status release-store + our acquire load in
+    // WaitForGrant; stamps stored after our grant are not dependencies
+    // (the conflicting holder could not have released before us).
+    c->NoteDep(req->head->last_commit_lsn.load(std::memory_order_acquire));
     c->cache().Insert(id, req);
     c->PushHeld(req);
   }
@@ -302,6 +316,7 @@ Status LockManager::Upgrade(LockClient* c, LockRequest* r, LockMode mode) {
     r->mode = target;
     h->SummaryUpgrade(was, target);
     SLIDB_DCHECK_SUMMARY(h);
+    c->NoteDep(h->last_commit_lsn.load(std::memory_order_relaxed));
     h->latch.Release();
     return Status::OK();
   }
@@ -317,6 +332,9 @@ Status LockManager::Upgrade(LockClient* c, LockRequest* r, LockMode mode) {
   bool granted_anyway = false;
   const Status st = WaitForGrant(c, r, &granted_anyway);
   c->waiting_on().store(nullptr, std::memory_order_release);
+  if (st.ok() || granted_anyway) {
+    c->NoteDep(h->last_commit_lsn.load(std::memory_order_acquire));
+  }
   return st;
 }
 
@@ -403,7 +421,8 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
 }
 
 void LockManager::ReleaseOne(LockClient* c, LockRequest* r, RequestPool* pool,
-                             WakeBatch* wakes, std::vector<LockId>* reclaims) {
+                             WakeBatch* wakes, std::vector<LockId>* reclaims,
+                             uint64_t commit_lsn) {
   LockHead* h = r->head;
   const LockId id = h->id;  // copy: head may be reclaimed after unpin
   const bool contended = h->latch.Acquire();
@@ -417,6 +436,11 @@ void LockManager::ReleaseOne(LockClient* c, LockRequest* r, RequestPool* pool,
     return;
   }
   SimulateQueueWork(h);
+  if (commit_lsn != 0 && IsWriteClassMode(r->mode)) {
+    // The next acquirer of this head must not externalize our data before
+    // this commit record is durable (early lock release).
+    h->StampCommitLsn(commit_lsn);
+  }
   h->Unlink(r);
   h->SummaryRemove(r->mode);
   if (s == RequestStatus::kInherited) {
@@ -494,7 +518,7 @@ bool LockManager::EligibleForInheritance(
 }
 
 void LockManager::ReleaseAll(LockClient* c, AgentSliState* sli,
-                             bool allow_inherit) {
+                             bool allow_inherit, uint64_t commit_lsn) {
   ScopedComponent comp(Component::kLockManager);
   const bool sli_active = allow_inherit && options_.enable_sli && sli != nullptr;
 
@@ -545,7 +569,11 @@ void LockManager::ReleaseAll(LockClient* c, AgentSliState* sli,
                   std::memory_order_acq_rel)) {
             r->head->inherited_hint.fetch_sub(1, std::memory_order_acq_rel);
             CountEvent(Counter::kSliDiscarded);
-            ReleaseOne(c, r, &sli->pool(), &wakes, &reclaims);
+            // commit_lsn = 0: this transaction never used the inherited
+            // lock, so its commit is no dependency for later acquirers —
+            // the correct horizon was stamped when the request was
+            // inherited by its actual writer.
+            ReleaseOne(c, r, &sli->pool(), &wakes, &reclaims, 0);
           } else {
             // An invalidator won the race; it already unlinked and
             // unpinned, so only the memory remains to reclaim.
@@ -583,6 +611,13 @@ void LockManager::ReleaseAll(LockClient* c, AgentSliState* sli,
     if (inherit) {
       ScopedComponent sli_comp(Component::kSli);
       r->sli_miss_count = 0;
+      if (commit_lsn != 0 && IsWriteClassMode(r->mode)) {
+        // Inheritance is a logical release: a conflicting acquirer that
+        // invalidates this request (e.g. table-S vs inherited IX) still
+        // depends on our commit's durability. Stamp before the CAS makes
+        // the request inheritable, so observers of either outcome see it.
+        r->head->StampCommitLsn(commit_lsn);
+      }
       r->client.store(nullptr, std::memory_order_release);
       // Raise the hint before the CAS so it can never undercount a request
       // that is already kInherited (overestimates are harmless: they just
@@ -596,10 +631,10 @@ void LockManager::ReleaseAll(LockClient* c, AgentSliState* sli,
       } else {
         // Only the owner transitions out of kGranted; cannot happen.
         r->head->inherited_hint.fetch_sub(1, std::memory_order_acq_rel);
-        ReleaseOne(c, r, pool, &wakes, &reclaims);
+        ReleaseOne(c, r, pool, &wakes, &reclaims, commit_lsn);
       }
     } else {
-      ReleaseOne(c, r, pool, &wakes, &reclaims);
+      ReleaseOne(c, r, pool, &wakes, &reclaims, commit_lsn);
     }
     r = next;
   }

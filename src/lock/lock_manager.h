@@ -128,7 +128,13 @@ class LockManager {
   /// being released (commit path); aborts call with allow_inherit = false.
   /// Also garbage-collects `sli`'s invalidated requests and discards
   /// inherited requests the finished transaction never used.
-  void ReleaseAll(LockClient* c, AgentSliState* sli, bool allow_inherit);
+  ///
+  /// `commit_lsn` (commit path only; 0 otherwise) stamps every released or
+  /// inherited write-mode lock's head as the durability horizon later
+  /// acquirers depend on under early lock release — see
+  /// LockHead::last_commit_lsn and LockClient::NoteDep.
+  void ReleaseAll(LockClient* c, AgentSliState* sli, bool allow_inherit,
+                  uint64_t commit_lsn = 0);
 
   /// Populate a starting transaction's lock cache with the agent's
   /// inherited requests (paper §4.1: "pre-populates the new transaction's
@@ -182,7 +188,8 @@ class LockManager {
   /// heads are queued on `reclaims` when non-null (batched TryReclaim),
   /// else reclaimed inline.
   void ReleaseOne(LockClient* c, LockRequest* r, RequestPool* pool,
-                  WakeBatch* wakes, std::vector<LockId>* reclaims);
+                  WakeBatch* wakes, std::vector<LockId>* reclaims,
+                  uint64_t commit_lsn = 0);
 
   /// Charge the simulated per-entry queue cost (head latch must be held).
   void SimulateQueueWork(LockHead* h);

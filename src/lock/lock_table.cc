@@ -11,7 +11,7 @@ namespace {
 /// bucket_waiters pointer is left as-is: freelists are per-bucket, so it
 /// already points at the right aggregate (and contributed zero when the
 /// head was retired).
-void ResetHead(LockHead* h, const LockId& id) {
+void ResetHead(LockHead* h, const LockId& id, uint64_t retired_dep) {
   h->id = id;
   for (size_t i = 0; i < kNumLockModes; ++i) h->granted_counts[i] = 0;
   h->granted_mask = 0;
@@ -24,6 +24,9 @@ void ResetHead(LockHead* h, const LockId& id) {
   h->q_head = h->q_tail = nullptr;
   h->pin_count.store(1, std::memory_order_relaxed);
   h->bucket_next = nullptr;
+  // Not scrubbed to zero: a fresh identity must inherit the bucket's
+  // retired dependency horizon (see Bucket::retired_dep).
+  h->last_commit_lsn.store(retired_dep, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -64,12 +67,13 @@ LockHead* LockTable::FindOrCreate(const LockId& id) {
     h = bucket.free_list;
     bucket.free_list = h->bucket_next;
     --bucket.free_count;
-    ResetHead(h, id);
+    ResetHead(h, id, bucket.retired_dep);
   } else {
     h = new LockHead();
     h->id = id;
     h->pin_count.store(1, std::memory_order_relaxed);
     h->bucket_waiters = &bucket.waiters;
+    h->last_commit_lsn.store(bucket.retired_dep, std::memory_order_relaxed);
   }
   h->bucket_next = bucket.chain;
   bucket.chain = h;
@@ -106,6 +110,11 @@ void LockTable::TryReclaim(const LockId& id) {
     } else {
       bucket.chain = h->bucket_next;
     }
+    // Fold the dying identity's durability horizon into the bucket before
+    // the head (or its stamp) is recycled. Stable read: the queue is empty
+    // and unpinned, so no stamping can race.
+    const uint64_t stamp = h->last_commit_lsn.load(std::memory_order_relaxed);
+    if (stamp > bucket.retired_dep) bucket.retired_dep = stamp;
     if (bucket.free_count < kMaxFreePerBucket) {
       h->bucket_next = bucket.free_list;
       bucket.free_list = h;

@@ -95,6 +95,13 @@ class LockTable {
     /// Waiting/converting requests across all heads in this bucket
     /// (maintained latch-free via LockHead::bucket_waiters).
     std::atomic<uint32_t> waiters{0};
+    /// Max LockHead::last_commit_lsn of every head retired from this
+    /// bucket (bucket-latch protected). A freshly created head inherits
+    /// it, so the ELR durability horizon survives row-head reclamation:
+    /// without this, writer-commit → head reclaim → reader re-create
+    /// would silently drop the reader's dependency. Bucket granularity
+    /// over-approximates only when two heads share a bucket.
+    uint64_t retired_dep = 0;
   };
 
   Bucket& BucketFor(const LockId& id) {

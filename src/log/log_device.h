@@ -1,0 +1,117 @@
+// Log devices: the durable end of the WAL. The flusher hands contiguous,
+// LSN-ordered byte ranges to LogOptions::flush_sink; a LogDevice is the
+// object behind that seam that actually persists them. Two implementations:
+//
+//   * FileLogDevice — a real append-only file (pwrite at the LSN offset +
+//     optional fsync per flush). Survives the process; Database::Recover
+//     reads it back.
+//   * InMemoryLogDevice — a deterministic byte vector with crash injection
+//     (stop accepting bytes at an arbitrary point, emulating power loss mid
+//     device write). The recovery test harness and benches build on it.
+//
+// Durability contract: flush_sink blocks the flusher until the range is
+// durable, and the LogManager advances durable_lsn only after the sink
+// returns — so a committer released by WaitDurable knows its bytes reached
+// the device (or the device lied, which is what the crash tests emulate).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/log/log_record.h"
+#include "src/util/status.h"
+
+namespace slidb {
+
+struct LogOptions;  // log_manager.h
+
+class LogDevice {
+ public:
+  virtual ~LogDevice() = default;
+
+  /// Persist `len` bytes whose first byte is log offset `lsn`. The flusher
+  /// calls this with contiguous, strictly increasing ranges. Must not
+  /// return before the bytes are durable (or dropped — a crashed device).
+  virtual Status Append(const uint8_t* data, size_t len, Lsn lsn) = 0;
+
+  /// Bytes durably stored (the length of the valid-until-torn prefix a
+  /// recovery scan will see).
+  virtual uint64_t DurableBytes() const = 0;
+
+  /// Read the entire durable stream back for recovery.
+  virtual Status ReadAll(std::vector<uint8_t>* out) const = 0;
+};
+
+/// Deterministic in-memory device with crash injection. Thread-safe; the
+/// flusher writes while test threads arm crashes and read the stream back.
+class InMemoryLogDevice : public LogDevice {
+ public:
+  Status Append(const uint8_t* data, size_t len, Lsn lsn) override;
+  uint64_t DurableBytes() const override;
+  Status ReadAll(std::vector<uint8_t>* out) const override;
+
+  /// Crash after `extra_bytes` more bytes are accepted: the write in flight
+  /// at that point is torn mid-record and everything later is dropped on
+  /// the floor, exactly like power loss during a device DMA.
+  void CrashAfter(uint64_t extra_bytes);
+
+  /// True once a crash point has been hit (some write was cut short).
+  bool crashed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint8_t> bytes_;
+  uint64_t accept_limit_ = UINT64_MAX;  ///< total bytes accepted before crash
+  bool crashed_ = false;
+};
+
+/// Append-only file device. Writes land at their LSN offset (the file is
+/// the log stream, byte for byte), fsync'd per flush by default so the
+/// durability contract holds across a host crash, not just a process exit.
+///
+/// Truncation is deferred to the FIRST append: opening the device does not
+/// destroy an existing log at `path`, so the natural restart-in-place flow
+/// — construct the Database with the same log_path, Recover(log_path),
+/// then serve traffic — reads the old log back before the new log (which
+/// starts with the recovery snapshot, see Database::RecoverFromStream)
+/// overwrites it. Truncating before the first write is required for
+/// correctness: a new log shorter than the old file would otherwise leave
+/// a stale tail of CRC-valid records at their original offsets, which a
+/// later recovery would happily resurrect.
+class FileLogDevice : public LogDevice {
+ public:
+  /// Opens (creates if absent) `path` without truncating; see class note.
+  static Status Open(const std::string& path, bool sync_each_flush,
+                     std::unique_ptr<FileLogDevice>* out);
+  ~FileLogDevice() override;
+
+  FileLogDevice(const FileLogDevice&) = delete;
+  FileLogDevice& operator=(const FileLogDevice&) = delete;
+
+  Status Append(const uint8_t* data, size_t len, Lsn lsn) override;
+  uint64_t DurableBytes() const override;
+  Status ReadAll(std::vector<uint8_t>* out) const override;
+
+  /// Read an existing log file (recovery path; does not truncate).
+  static Status ReadFile(const std::string& path, std::vector<uint8_t>* out);
+
+ private:
+  FileLogDevice(int fd, std::string path, bool sync_each_flush)
+      : fd_(fd), path_(std::move(path)), sync_each_flush_(sync_each_flush) {}
+
+  int fd_;
+  std::string path_;
+  bool sync_each_flush_;
+  bool truncated_ = false;  ///< flusher-thread only (single writer)
+  std::atomic<uint64_t> written_{0};  ///< advanced by the flusher thread
+};
+
+/// Install `device` as `options`' flush_sink. The device must outlive the
+/// LogManager constructed from the options.
+void AttachLogDevice(LogOptions* options, LogDevice* device);
+
+}  // namespace slidb

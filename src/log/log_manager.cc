@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/stats/counters.h"
@@ -62,22 +64,26 @@ void LogManager::BackpressurePause() {
 Lsn LogManager::Append(uint64_t txn_id, LogRecordType type,
                        const void* payload, uint32_t payload_len) {
   ScopedComponent comp(Component::kLog);
-  const size_t total = sizeof(RecordHeader) + payload_len;
-  assert(total <= options_.buffer_bytes);
-
-  RecordHeader hdr{};
-  hdr.payload_len = payload_len;
-  hdr.type = static_cast<uint8_t>(type);
-  hdr.txn_id = txn_id;
+  assert(sizeof(LogRecordHeader) + payload_len <= options_.buffer_bytes);
+  // Hard check, not an assert: a record the recovery scanner would reject
+  // as corrupt (kBadLength) must never be sealed and acked durable — the
+  // torn-write rule would then discard it AND every commit after it.
+  if (payload_len > kMaxLogPayloadLen) {
+    std::fprintf(stderr,
+                 "slidb: log record payload %u exceeds scanner bound %u\n",
+                 payload_len, kMaxLogPayloadLen);
+    std::abort();
+  }
 
   if (options_.append_mode == LogOptions::AppendMode::kLatched) {
-    return AppendLatched(hdr, payload, total);
+    return AppendLatched(txn_id, type, payload, payload_len);
   }
-  return AppendReserve(hdr, payload, total);
+  return AppendReserve(txn_id, type, payload, payload_len);
 }
 
-Lsn LogManager::AppendReserve(const RecordHeader& hdr, const void* payload,
-                              size_t total) {
+Lsn LogManager::AppendReserve(uint64_t txn_id, LogRecordType type,
+                              const void* payload, uint32_t payload_len) {
+  const size_t total = sizeof(LogRecordHeader) + payload_len;
   // One fetch-add claims both the byte range [start, end) and the record's
   // publish-slot sequence number; LSN order and slot order can never
   // diverge. No ordering is published here — the record becomes visible
@@ -109,9 +115,13 @@ Lsn LogManager::AppendReserve(const RecordHeader& hdr, const void* payload,
     if (!TryAdvanceWatermark()) BackpressurePause();
   }
 
+  // The header is sealed only now that the record's start LSN is known:
+  // the CRC covers the lsn field, binding the checksum to the offset.
+  const LogRecordHeader hdr =
+      MakeLogRecordHeader(txn_id, type, start, payload, payload_len);
   CopyIntoRing(start, &hdr, sizeof(hdr));
-  if (hdr.payload_len > 0) {
-    CopyIntoRing(start + sizeof(hdr), payload, hdr.payload_len);
+  if (payload_len > 0) {
+    CopyIntoRing(start + sizeof(hdr), payload, payload_len);
   }
   records_.fetch_add(1, std::memory_order_relaxed);
   slot.end = end;
@@ -121,8 +131,9 @@ Lsn LogManager::AppendReserve(const RecordHeader& hdr, const void* payload,
   return end;
 }
 
-Lsn LogManager::AppendLatched(const RecordHeader& hdr, const void* payload,
-                              size_t total) {
+Lsn LogManager::AppendLatched(uint64_t txn_id, LogRecordType type,
+                              const void* payload, uint32_t payload_len) {
+  const size_t total = sizeof(LogRecordHeader) + payload_len;
   const size_t cap = options_.buffer_bytes;
   append_latch_.Acquire();
   while (watermark_.load(std::memory_order_relaxed) + total -
@@ -133,9 +144,11 @@ Lsn LogManager::AppendLatched(const RecordHeader& hdr, const void* payload,
     append_latch_.Acquire();
   }
   const Lsn start = watermark_.load(std::memory_order_relaxed);
+  const LogRecordHeader hdr =
+      MakeLogRecordHeader(txn_id, type, start, payload, payload_len);
   CopyIntoRing(start, &hdr, sizeof(hdr));
-  if (hdr.payload_len > 0) {
-    CopyIntoRing(start + sizeof(hdr), payload, hdr.payload_len);
+  if (payload_len > 0) {
+    CopyIntoRing(start + sizeof(hdr), payload, payload_len);
   }
   records_.fetch_add(1, std::memory_order_relaxed);
   watermark_.store(start + total, std::memory_order_release);

@@ -14,6 +14,11 @@
 //
 // The legacy single-latch append and broadcast-condvar wakeup are retained
 // behind LogOptions knobs as the measured baseline (bench/macro_workloads).
+//
+// On-wire record format (self-describing, CRC32C-sealed): log_record.h.
+// The flusher hands hardened byte ranges to `flush_sink` — attach a
+// LogDevice (log_device.h) there for a durable stream that RecoveryManager
+// (recovery.h) can replay after a crash.
 #pragma once
 
 #include <atomic>
@@ -24,23 +29,12 @@
 #include <mutex>
 #include <thread>
 
+#include "src/log/log_record.h"
 #include "src/util/cacheline.h"
 #include "src/util/latch.h"
 #include "src/util/status.h"
 
 namespace slidb {
-
-/// Log sequence number: byte offset of the end of the record in the
-/// (virtual, unbounded) log stream.
-using Lsn = uint64_t;
-
-enum class LogRecordType : uint8_t {
-  kUpdate = 0,
-  kInsert,
-  kDelete,
-  kCommit,
-  kAbort,
-};
 
 struct LogOptions {
   size_t buffer_bytes = 8u << 20;
@@ -123,14 +117,6 @@ class LogManager {
   LogStats Stats() const;
 
  private:
-  struct RecordHeader {
-    uint32_t payload_len;
-    uint8_t type;
-    uint8_t pad[3];
-    uint64_t txn_id;
-  };
-  static_assert(sizeof(RecordHeader) == 16);
-
   /// One committer waiting for its commit record to harden. Nodes are
   /// thread-local (one outstanding WaitDurable per thread) and pushed onto
   /// `waiters_` latch-free; the flusher owns them until it sets `done`.
@@ -169,10 +155,10 @@ class LogManager {
     uint64_t end = 0;
   };
 
-  Lsn AppendReserve(const RecordHeader& hdr, const void* payload,
-                    size_t total);
-  Lsn AppendLatched(const RecordHeader& hdr, const void* payload,
-                    size_t total);
+  Lsn AppendReserve(uint64_t txn_id, LogRecordType type, const void* payload,
+                    uint32_t payload_len);
+  Lsn AppendLatched(uint64_t txn_id, LogRecordType type, const void* payload,
+                    uint32_t payload_len);
   void CopyIntoRing(Lsn at, const void* src, size_t len);
   /// One backpressure pause: kick the flusher, yield, charge blocked time.
   void BackpressurePause();

@@ -1,0 +1,199 @@
+// The durable log wire format: self-describing, CRC32C-checksummed records.
+//
+// Every record is a fixed 32-byte header followed by `payload_len` payload
+// bytes, packed back to back with no alignment padding (LSNs are plain byte
+// offsets). The format is self-describing in three ways:
+//
+//   * `payload_len` lets a scanner skip to the next record without knowing
+//     the payload type;
+//   * `lsn` repeats the record's own start offset, so a reader that lands
+//     on stale or misaligned bytes rejects them even if the CRC happens to
+//     match (the CRC covers the lsn, so a record copied to the wrong offset
+//     can never validate);
+//   * `crc` (CRC32C) covers every header byte after the crc field itself
+//     plus the whole payload, so a torn tail, a bit flip, or a partially
+//     overwritten record is detected on read-back.
+//
+//       offset  field         checksum coverage
+//       0       crc     u32   -- (stores the checksum)
+//       4       payload_len   u32   covered
+//       8       txn_id  u64   covered
+//       16      lsn     u64   covered
+//       24      type    u8    covered
+//       25      version u8    covered
+//       26      pad[6]        covered (must be zero)
+//       32      payload [payload_len]  covered
+//
+// Torn-write rule: the durable stream is valid up to the first record that
+// fails any check (short header, implausible length, lsn mismatch, CRC
+// mismatch). Everything before that point is trusted; everything from it on
+// is discarded — see RecoveryManager.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "src/util/crc32c.h"
+
+namespace slidb {
+
+/// Log sequence number: byte offset of a position in the (virtual,
+/// unbounded) log stream. Append returns the *end* LSN of the record.
+using Lsn = uint64_t;
+
+enum class LogRecordType : uint8_t {
+  kUpdate = 0,   ///< heap after-image (HeapRedoPayload + image bytes)
+  kInsert,       ///< heap after-image (HeapRedoPayload + image bytes)
+  kDelete,       ///< heap delete (HeapRedoPayload, no image)
+  kCommit,       ///< transaction commit point (no payload)
+  kAbort,        ///< transaction abort (no payload; undo is not logged)
+  kBegin,        ///< transaction begin (no payload)
+  kIndexInsert,  ///< index entry add (IndexRedoPayload)
+  kIndexRemove,  ///< index entry remove (IndexRedoPayload)
+};
+
+inline const char* LogRecordTypeName(LogRecordType t) {
+  switch (t) {
+    case LogRecordType::kUpdate: return "update";
+    case LogRecordType::kInsert: return "insert";
+    case LogRecordType::kDelete: return "delete";
+    case LogRecordType::kCommit: return "commit";
+    case LogRecordType::kAbort: return "abort";
+    case LogRecordType::kBegin: return "begin";
+    case LogRecordType::kIndexInsert: return "index_insert";
+    case LogRecordType::kIndexRemove: return "index_remove";
+  }
+  return "?";
+}
+
+inline constexpr uint8_t kLogFormatVersion = 1;
+
+struct LogRecordHeader {
+  uint32_t crc;          ///< CRC32C over header bytes [4, 32) + payload
+  uint32_t payload_len;  ///< payload bytes following the header
+  uint64_t txn_id;
+  Lsn lsn;               ///< start offset of this header in the log stream
+  uint8_t type;          ///< LogRecordType
+  uint8_t version;       ///< kLogFormatVersion
+  uint8_t pad[6];        ///< zero (covered by the CRC)
+};
+static_assert(sizeof(LogRecordHeader) == 32);
+
+/// CRC coverage starts just past the crc field.
+inline constexpr size_t kLogCrcSkip = sizeof(uint32_t);
+
+/// Checksum a (header, payload) pair. The header's `crc` field is not read.
+inline uint32_t ComputeLogRecordCrc(const LogRecordHeader& hdr,
+                                    const void* payload) {
+  uint32_t c =
+      Crc32c(0, reinterpret_cast<const uint8_t*>(&hdr) + kLogCrcSkip,
+             sizeof(hdr) - kLogCrcSkip);
+  if (hdr.payload_len > 0) c = Crc32c(c, payload, hdr.payload_len);
+  return c;
+}
+
+/// Build a sealed header for a record starting at `lsn`.
+inline LogRecordHeader MakeLogRecordHeader(uint64_t txn_id, LogRecordType type,
+                                           Lsn lsn, const void* payload,
+                                           uint32_t payload_len) {
+  LogRecordHeader hdr{};
+  hdr.payload_len = payload_len;
+  hdr.txn_id = txn_id;
+  hdr.lsn = lsn;
+  hdr.type = static_cast<uint8_t>(type);
+  hdr.version = kLogFormatVersion;
+  hdr.crc = ComputeLogRecordCrc(hdr, payload);
+  return hdr;
+}
+
+// ---- typed redo payloads ----------------------------------------------------
+// Payload structs are memcpy'd onto the wire (the stream has no alignment
+// guarantees) and must stay trivially copyable with explicit padding.
+
+/// kInsert / kUpdate / kDelete: the row address; for insert/update the
+/// after-image follows immediately (payload_len - sizeof tells its size).
+struct HeapRedoPayload {
+  uint32_t table;   ///< TableId (catalog position; schema is re-created
+                    ///< identically before recovery)
+  uint16_t slot;
+  uint8_t pad[2];   ///< zero
+  uint64_t page_no;
+};
+static_assert(sizeof(HeapRedoPayload) == 16);
+
+/// kIndexInsert / kIndexRemove: one index entry. The operation is the
+/// record type; key/value identify the entry in either index kind.
+struct IndexRedoPayload {
+  uint32_t index;   ///< IndexId (catalog position)
+  uint8_t pad[4];   ///< zero
+  uint64_t key;
+  uint64_t value;
+};
+static_assert(sizeof(IndexRedoPayload) == 24);
+
+// ---- stream scanning --------------------------------------------------------
+
+/// Why a scan stopped at a given position.
+enum class LogScanStatus : uint8_t {
+  kOk,           ///< a valid record was decoded
+  kEndOfStream,  ///< clean end: the stream stops exactly at a boundary
+  kTornHeader,   ///< fewer than sizeof(LogRecordHeader) bytes remain
+  kTornPayload,  ///< header decodes but the payload is cut short
+  kBadLength,    ///< payload_len fails the sanity bound
+  kBadLsn,       ///< header's lsn does not match its stream offset
+  kBadVersion,   ///< unknown format version
+  kBadCrc,       ///< checksum mismatch (bit flip or partial overwrite)
+};
+
+inline const char* LogScanStatusName(LogScanStatus s) {
+  switch (s) {
+    case LogScanStatus::kOk: return "ok";
+    case LogScanStatus::kEndOfStream: return "end_of_stream";
+    case LogScanStatus::kTornHeader: return "torn_header";
+    case LogScanStatus::kTornPayload: return "torn_payload";
+    case LogScanStatus::kBadLength: return "bad_length";
+    case LogScanStatus::kBadLsn: return "bad_lsn";
+    case LogScanStatus::kBadVersion: return "bad_version";
+    case LogScanStatus::kBadCrc: return "bad_crc";
+  }
+  return "?";
+}
+
+/// Payloads above this bound are treated as corruption during a scan: no
+/// writer produces them (heap records are at most one 8 KiB page), and the
+/// bound stops a garbage length from swallowing the rest of the stream.
+inline constexpr uint32_t kMaxLogPayloadLen = 1u << 20;
+
+/// Decode the record at byte offset `pos` of `stream` (whose first byte is
+/// log offset `base_lsn`). On kOk fills `hdr` (and `payload` with a pointer
+/// into the stream) — callers must copy payload fields out with memcpy
+/// before use. Any other status means the scan must stop at `pos`.
+///
+/// `verify_crc = false` skips the checksum (structural checks only): for
+/// re-walking a prefix that a verifying scan already validated — the CRC
+/// dominates decode cost, and recovery walks the prefix up to three times
+/// (scan, replay, snapshot re-log).
+inline LogScanStatus DecodeLogRecord(const uint8_t* stream, size_t size,
+                                     size_t pos, Lsn base_lsn,
+                                     LogRecordHeader* hdr,
+                                     const uint8_t** payload,
+                                     bool verify_crc = true) {
+  if (pos == size) return LogScanStatus::kEndOfStream;
+  if (size - pos < sizeof(LogRecordHeader)) return LogScanStatus::kTornHeader;
+  std::memcpy(hdr, stream + pos, sizeof(LogRecordHeader));
+  if (hdr->payload_len > kMaxLogPayloadLen) return LogScanStatus::kBadLength;
+  if (hdr->version != kLogFormatVersion) return LogScanStatus::kBadVersion;
+  if (hdr->lsn != base_lsn + pos) return LogScanStatus::kBadLsn;
+  if (size - pos - sizeof(LogRecordHeader) < hdr->payload_len) {
+    return LogScanStatus::kTornPayload;
+  }
+  const uint8_t* body = stream + pos + sizeof(LogRecordHeader);
+  if (verify_crc && hdr->crc != ComputeLogRecordCrc(*hdr, body)) {
+    return LogScanStatus::kBadCrc;
+  }
+  *payload = body;
+  return LogScanStatus::kOk;
+}
+
+}  // namespace slidb

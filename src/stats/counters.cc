@@ -38,6 +38,12 @@ const char* CounterName(Counter c) {
     case Counter::kSliUpgradeAfterReclaim: return "sli.upgrade_after_reclaim";
     case Counter::kLogResvRetries: return "log.resv_retries";
     case Counter::kGroupCommitWaitersWoken: return "log.gc_waiters_woken";
+    case Counter::kLogChecksumFail: return "log.checksum_fail";
+    case Counter::kRecoveryRecordsScanned: return "recovery.records_scanned";
+    case Counter::kRecoveryRecordsReplayed: return "recovery.records_replayed";
+    case Counter::kRecoveryRecordsSkipped: return "recovery.records_skipped";
+    case Counter::kRecoveryCommittedTxns: return "recovery.committed_txns";
+    case Counter::kRecoveryTornTails: return "recovery.torn_tails";
     case Counter::kBtreeRestarts: return "btree.restarts";
     case Counter::kBtreeLeafReclaims: return "btree.leaf_reclaims";
     case Counter::kEpochRetired: return "epoch.retired";

@@ -49,6 +49,15 @@ enum class Counter : uint32_t {
                             ///< (ring space or publish-slot waits)
   kGroupCommitWaitersWoken, ///< committers woken individually by the
                             ///< consolidated group-commit queue
+  kLogChecksumFail,         ///< records rejected on read-back (CRC mismatch
+                            ///< or torn tail)
+
+  // -- crash recovery --
+  kRecoveryRecordsScanned,  ///< valid records decoded from the durable log
+  kRecoveryRecordsReplayed, ///< redo records applied to storage
+  kRecoveryRecordsSkipped,  ///< redo records of uncommitted txns dropped
+  kRecoveryCommittedTxns,   ///< transactions whose commit record was durable
+  kRecoveryTornTails,       ///< recoveries that discarded a torn/corrupt tail
 
   // -- B-tree optimistic lock coupling --
   kBtreeRestarts,       ///< optimistic traversals retried after a version

@@ -122,6 +122,35 @@ Status HeapFile::Delete(Rid rid) {
   return Status::OK();
 }
 
+Status HeapFile::RedoInsert(Rid rid, std::span<const uint8_t> rec) {
+  ScopedComponent comp(Component::kStorage);
+  // Extend the file up to the target page. Page numbers were allocated
+  // sequentially during the original run, so replay fills any gap with
+  // initialized (empty) pages and lands on the same numbering.
+  while (page_count() <= rid.page_no) {
+    PageId id;
+    PageGuard guard;
+    SLIDB_RETURN_NOT_OK(pool_->NewPage(file_id_, &id, &guard));
+    SlottedPage::Init(guard.page());
+    guard.MarkDirty();
+    UpdateFsm(id.page_no, SlottedPage::FreeSpace(guard.page()));
+  }
+  PageGuard guard;
+  SLIDB_RETURN_NOT_OK(
+      pool_->FixPage(PageId{file_id_, rid.page_no}, /*exclusive=*/true,
+                     &guard));
+  SLIDB_RETURN_NOT_OK(SlottedPage::RedoInsertAt(guard.page(), rid.slot, rec));
+  guard.MarkDirty();
+  UpdateFsm(rid.page_no, SlottedPage::FreeSpace(guard.page()));
+  return Status::OK();
+}
+
+Status HeapFile::RedoUpdate(Rid rid, std::span<const uint8_t> rec) {
+  return Update(rid, rec);
+}
+
+Status HeapFile::RedoDelete(Rid rid) { return Delete(rid); }
+
 Status HeapFile::Scan(
     const std::function<void(Rid, std::span<const uint8_t>)>& fn) {
   ScopedComponent comp(Component::kStorage);

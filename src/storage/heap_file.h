@@ -41,6 +41,17 @@ class HeapFile {
   /// Full scan: fn(Rid, record bytes) under the page's shared latch.
   Status Scan(const std::function<void(Rid, std::span<const uint8_t>)>& fn);
 
+  // ---- crash-recovery replay (RecoveryManager only) ----
+  // Redo records address rows physically (page, slot); replay re-creates
+  // the exact placement the crashed run produced, so RIDs embedded in
+  // surviving index entries stay valid.
+
+  /// Materialize `rec` at exactly `rid`, creating pages up to rid.page_no
+  /// on demand.
+  Status RedoInsert(Rid rid, std::span<const uint8_t> rec);
+  Status RedoUpdate(Rid rid, std::span<const uint8_t> rec);
+  Status RedoDelete(Rid rid);
+
  private:
   /// Pick (or create) a page with at least `need` contiguous free bytes.
   uint64_t FindPageWithSpace(size_t need);

@@ -118,6 +118,36 @@ class SlottedPage {
     return Status::OK();
   }
 
+  /// Redo-apply an insert at a specific slot (crash-recovery replay into
+  /// fresh storage). Extends the slot directory with holes up to
+  /// `slot_idx`, then places the record there. Replay re-executes the
+  /// original insert sequence page by page, so space that sufficed at
+  /// runtime suffices here; a shortfall means the log and the replay
+  /// diverged.
+  static Status RedoInsertAt(Page* page, uint16_t slot_idx,
+                             std::span<const uint8_t> rec) {
+    auto* h = HeaderOf(page);
+    if (slot_idx >= h->slot_count) {
+      // Extend the directory with holes up to the target slot; InsertAt
+      // then handles placement (space check, compaction) like any other
+      // hole re-occupation.
+      const size_t new_slots = slot_idx + 1 - h->slot_count;
+      if (static_cast<size_t>(h->free_end - h->free_begin) <
+          new_slots * sizeof(Slot)) {
+        return Status::Corruption("redo slot directory does not fit");
+      }
+      Slot* slots = SlotsOf(page);
+      for (uint16_t i = h->slot_count; i <= slot_idx; ++i) {
+        slots[i].offset = kInvalidOffset;
+        slots[i].length = 0;
+      }
+      h->slot_count = static_cast<uint16_t>(slot_idx + 1);
+      h->free_begin = static_cast<uint16_t>(h->free_begin +
+                                            new_slots * sizeof(Slot));
+    }
+    return InsertAt(page, slot_idx, rec);
+  }
+
   /// Read a record; returns an empty span for holes / bad slots.
   static std::span<const uint8_t> Get(const Page* page, uint16_t slot_idx) {
     const auto* h = HeaderOf(page);

@@ -61,6 +61,7 @@ class Transaction {
     state_ = TxnState::kActive;
     undo_.clear();
     log_bytes_ = 0;
+    begin_logged_ = false;
     lock_client_.StartTxn(id, agent_id);
   }
 
@@ -74,6 +75,9 @@ class Transaction {
   LockClient lock_client_;
   std::vector<std::function<void()>> undo_;
   size_t log_bytes_ = 0;
+  /// kBegin is emitted lazily with the first mutation record, so read-only
+  /// transactions put nothing in the log append path.
+  bool begin_logged_ = false;
 };
 
 }  // namespace slidb

@@ -1,5 +1,9 @@
 #include "src/txn/transaction_manager.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "src/stats/counters.h"
 #include "src/stats/profiler.h"
 
@@ -14,13 +18,65 @@ Transaction* TransactionManager::Begin(AgentContext* agent) {
   return &txn;
 }
 
+void TransactionManager::MaybeLogBegin(Transaction& txn) {
+  // Lazy begin record: emitted just before the transaction's first
+  // mutation record. Read-only transactions never touch the append path,
+  // and recovery still sees begin strictly before any of the txn's redo.
+  if (txn.begin_logged_) return;
+  txn.begin_logged_ = true;
+  log_manager_->Append(txn.id(), LogRecordType::kBegin, nullptr, 0);
+}
+
+void TransactionManager::LogHeapOp(AgentContext* agent, LogRecordType type,
+                                   uint32_t table, Rid rid,
+                                   std::span<const uint8_t> image) {
+  if (log_manager_ == nullptr) return;
+  MaybeLogBegin(agent->txn());
+  HeapRedoPayload row{};
+  row.table = table;
+  row.slot = rid.slot;
+  row.page_no = rid.page_no;
+  // Full after-image, never truncated: a capped image would replay as a
+  // different row. Heap records are bounded by the 8 KiB page — hard
+  // check, not an assert: in Release builds an oversized image would
+  // otherwise overflow the stack buffer below.
+  if (image.size() > SlottedPage::MaxRecordSize()) {
+    std::fprintf(stderr, "slidb: heap redo image %zu exceeds page bound\n",
+                 image.size());
+    std::abort();
+  }
+  uint8_t buf[sizeof(HeapRedoPayload) + SlottedPage::MaxRecordSize()];
+  std::memcpy(buf, &row, sizeof(row));
+  if (!image.empty()) {
+    std::memcpy(buf + sizeof(row), image.data(), image.size());
+  }
+  const auto total = static_cast<uint32_t>(sizeof(row) + image.size());
+  log_manager_->Append(agent->txn().id(), type, buf, total);
+  agent->txn().AddLogBytes(total);
+}
+
+void TransactionManager::LogIndexOp(AgentContext* agent, LogRecordType type,
+                                    uint32_t index, uint64_t key,
+                                    uint64_t value) {
+  if (log_manager_ == nullptr) return;
+  MaybeLogBegin(agent->txn());
+  IndexRedoPayload entry{};
+  entry.index = index;
+  entry.key = key;
+  entry.value = value;
+  log_manager_->Append(agent->txn().id(), type, &entry,
+                       static_cast<uint32_t>(sizeof(entry)));
+  agent->txn().AddLogBytes(sizeof(entry));
+}
+
 Lsn TransactionManager::CommitLogInsert(Transaction& txn) {
   return log_manager_->Append(txn.id(), LogRecordType::kCommit, nullptr, 0);
 }
 
-void TransactionManager::CommitReleaseLocks(AgentContext* agent) {
+void TransactionManager::CommitReleaseLocks(AgentContext* agent,
+                                            Lsn commit_lsn) {
   lock_manager_->ReleaseAll(&agent->txn().lock_client(), &agent->sli(),
-                            /*allow_inherit=*/true);
+                            /*allow_inherit=*/true, commit_lsn);
 }
 
 void TransactionManager::CommitWaitDurable(Lsn lsn) {
@@ -33,7 +89,19 @@ Status TransactionManager::Commit(AgentContext* agent) {
   if (!txn.active()) return Status::InvalidArgument("commit of inactive txn");
 
   if (log_manager_ == nullptr) {
-    CommitReleaseLocks(agent);
+    CommitReleaseLocks(agent, 0);
+  } else if (!txn.begin_logged_) {
+    // Read-only: the transaction logged nothing, so it appends no record.
+    // But under early lock release the data it READ may not be durable
+    // yet — the writer dropped its lock at commit-record *insertion*.
+    // Every lock acquisition noted the head's last write-commit LSN
+    // (LockClient::NoteDep), so waiting for durable >= dep_lsn guarantees
+    // no caller ever observes state a crash could un-commit — and costs
+    // nothing when the observed writers are already durable, which is the
+    // common case on read-mostly workloads.
+    const Lsn horizon = txn.lock_client().dep_lsn();
+    CommitReleaseLocks(agent, 0);
+    if (horizon > 0) CommitWaitDurable(horizon);
   } else if (options_.early_lock_release) {
     // Locks are logically released the instant the commit record enters the
     // log: its LSN fixes the serialization point, and group commit hardens
@@ -41,13 +109,13 @@ Status TransactionManager::Commit(AgentContext* agent) {
     // (or inheriting) locks while the flush is in flight removes the commit
     // I/O from the lock hold time.
     const Lsn lsn = CommitLogInsert(txn);
-    CommitReleaseLocks(agent);
+    CommitReleaseLocks(agent, lsn);
     CountEvent(Counter::kTxnEarlyRelease);
     CommitWaitDurable(lsn);
   } else {
     const Lsn lsn = CommitLogInsert(txn);
     CommitWaitDurable(lsn);
-    CommitReleaseLocks(agent);
+    CommitReleaseLocks(agent, lsn);
   }
   txn.state_ = TxnState::kCommitted;
   txn.undo_.clear();
@@ -61,9 +129,10 @@ void TransactionManager::Abort(AgentContext* agent) {
   if (!txn.active()) return;
 
   // Undo runs under the transaction's locks, then the abort record is
-  // logged (no flush wait needed for aborts).
+  // logged (no flush wait needed for aborts). Symmetric with Commit: a
+  // transaction that logged nothing appends nothing on abort either.
   txn.RunUndo();
-  if (log_manager_ != nullptr) {
+  if (log_manager_ != nullptr && txn.begin_logged_) {
     log_manager_->Append(txn.id(), LogRecordType::kAbort, nullptr, 0);
   }
   lock_manager_->ReleaseAll(&txn.lock_client(), &agent->sli(),

@@ -13,9 +13,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 
 #include "src/lock/lock_manager.h"
 #include "src/log/log_manager.h"
+#include "src/log/log_record.h"
+#include "src/storage/slotted_page.h"
 #include "src/txn/agent.h"
 #include "src/txn/transaction.h"
 #include "src/util/status.h"
@@ -54,16 +57,45 @@ class TransactionManager {
   /// everything without inheritance.
   void Abort(AgentContext* agent);
 
+  // ---- redo logging (every storage mutation flows through here) ----
+  // The records are the recovery contract: a crash replays exactly these.
+  // Emission order matters — a mutation's record is appended while the row
+  // is still X-locked, so dependent transactions always log after us.
+
+  /// Log a heap row mutation (kInsert/kUpdate carry the after-image;
+  /// kDelete logs just the address).
+  void LogHeapOp(AgentContext* agent, LogRecordType type, uint32_t table,
+                 Rid rid, std::span<const uint8_t> image);
+
+  /// Log an index entry mutation (kIndexInsert / kIndexRemove).
+  void LogIndexOp(AgentContext* agent, LogRecordType type, uint32_t index,
+                  uint64_t key, uint64_t value);
+
   uint64_t ActiveTransactionCeiling() const {
     return next_txn_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Restart the txn-id space above every id seen in a recovered log, so
+  /// post-recovery transactions never collide with pre-crash ones in the
+  /// new log. Call while quiesced (recovery runs before traffic).
+  void EnsureNextTxnIdAbove(uint64_t max_seen_id) {
+    uint64_t cur = next_txn_id_.load(std::memory_order_relaxed);
+    while (cur <= max_seen_id &&
+           !next_txn_id_.compare_exchange_weak(cur, max_seen_id + 1,
+                                               std::memory_order_relaxed)) {
+    }
   }
 
   const TxnOptions& options() const { return options_; }
 
  private:
-  // Commit pipeline phases.
+  /// Emit the txn's kBegin record if this is its first mutation.
+  void MaybeLogBegin(Transaction& txn);
+
+  // Commit pipeline phases. `commit_lsn` stamps released write locks as
+  // the durability horizon later acquirers depend on (ELR soundness).
   Lsn CommitLogInsert(Transaction& txn);
-  void CommitReleaseLocks(AgentContext* agent);
+  void CommitReleaseLocks(AgentContext* agent, Lsn commit_lsn);
   void CommitWaitDurable(Lsn lsn);
 
   LockManager* lock_manager_;

@@ -13,19 +13,11 @@
 #include <vector>
 
 #include "src/log/log_manager.h"
+#include "src/log/log_record.h"
 #include "src/stats/counters.h"
 
 namespace slidb {
 namespace {
-
-// Mirrors LogManager's on-ring record header (the durable stream format).
-struct WireHeader {
-  uint32_t payload_len;
-  uint8_t type;
-  uint8_t pad[3];
-  uint64_t txn_id;
-};
-static_assert(sizeof(WireHeader) == 16);
 
 /// Captures the durable byte stream emitted by the flusher and checks the
 /// chunks arrive contiguously from LSN 0.
@@ -51,28 +43,28 @@ struct ParsedRecord {
   std::vector<uint8_t> payload;
 };
 
-/// Parse a captured stream back into records; fails the test on a torn or
-/// truncated record.
+/// Parse a captured stream back into records through the real wire-format
+/// validator (CRC32C + self-LSN + version checks on every record); fails
+/// the test on a torn, corrupt, or truncated record.
 std::vector<ParsedRecord> ParseStream(const std::vector<uint8_t>& bytes) {
   std::vector<ParsedRecord> out;
   size_t pos = 0;
-  while (pos < bytes.size()) {
-    if (pos + sizeof(WireHeader) > bytes.size()) {
-      ADD_FAILURE() << "truncated header at " << pos;
-      break;
-    }
-    WireHeader hdr;
-    std::memcpy(&hdr, bytes.data() + pos, sizeof(hdr));
-    pos += sizeof(hdr);
-    if (pos + hdr.payload_len > bytes.size()) {
-      ADD_FAILURE() << "truncated payload at " << pos;
+  for (;;) {
+    LogRecordHeader hdr;
+    const uint8_t* payload = nullptr;
+    const LogScanStatus st = DecodeLogRecord(bytes.data(), bytes.size(), pos,
+                                             /*base_lsn=*/0, &hdr, &payload);
+    if (st == LogScanStatus::kEndOfStream) break;
+    if (st != LogScanStatus::kOk) {
+      ADD_FAILURE() << "invalid record at " << pos << ": "
+                    << LogScanStatusName(st);
       break;
     }
     ParsedRecord r;
     r.txn_id = hdr.txn_id;
     r.type = hdr.type;
-    r.payload.assign(bytes.begin() + pos, bytes.begin() + pos + hdr.payload_len);
-    pos += hdr.payload_len;
+    r.payload.assign(payload, payload + hdr.payload_len);
+    pos += sizeof(LogRecordHeader) + hdr.payload_len;
     out.push_back(std::move(r));
   }
   return out;

@@ -1,0 +1,967 @@
+// Crash-recovery tests: the checksummed wire format, log devices with
+// torn-write injection, the RecoveryManager's committed-prefix contract,
+// and the end-to-end crash → recover → verify loop through the engine.
+//
+// The central harness is the torn-tail sweep: capture the exact durable
+// byte stream of a known workload, truncate it at EVERY byte offset, and
+// assert that recovery always reconstructs exactly the state of some
+// committed prefix — no lost committed transaction, no ghost uncommitted
+// mutation, with log.checksum_fail firing precisely when the cut lands
+// inside a record.
+//
+// Multi-threaded sections follow the ROADMAP single-CPU guidance: thread
+// counts and iteration budgets scale with hardware_concurrency(), and the
+// assertions are interleaving-independent (set membership and conservation
+// invariants), so the tests stay deterministic on one-context hosts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/log/log_device.h"
+#include "src/log/log_manager.h"
+#include "src/log/log_record.h"
+#include "src/log/recovery.h"
+#include "src/stats/counters.h"
+#include "src/util/crc32c.h"
+#include "src/util/rng.h"
+
+namespace slidb {
+namespace {
+
+// ---- shared fixtures --------------------------------------------------------
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+DatabaseOptions TestOptions() {
+  DatabaseOptions o;
+  o.buffer.num_frames = 1024;
+  o.lock.deadlock_interval_us = 300;
+  o.lock.lock_timeout_us = 2'000'000;
+  o.log.flush_interval_us = 50;
+  return o;
+}
+
+/// Crash-injection test double: an InMemoryLogDevice installed as the
+/// database's flush_sink. Arm(extra) emulates power loss after `extra`
+/// more durable bytes — the device write in flight is torn mid-record and
+/// everything later vanishes, exactly what the recovery scan must survive.
+struct CrashSink {
+  InMemoryLogDevice device;
+
+  void Install(LogOptions* o) { AttachLogDevice(o, &device); }
+  void Arm(uint64_t extra_bytes) { device.CrashAfter(extra_bytes); }
+  std::vector<uint8_t> Stream() const {
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(device.ReadAll(&out).ok());
+    return out;
+  }
+};
+
+/// Catalog + storage substrate for replaying a log without a full engine
+/// (the sweep builds thousands of these; keep the pool tiny).
+struct RecoveryTarget {
+  Volume volume;
+  BufferPool pool;
+  Catalog catalog;
+
+  RecoveryTarget() : pool(&volume, SmallPool()) {}
+
+  static BufferPoolOptions SmallPool() {
+    BufferPoolOptions o;
+    o.num_frames = 64;
+    return o;
+  }
+
+  TableId AddTable(const char* name = "t") {
+    return catalog.AddTable(name, std::make_unique<HeapFile>(&pool));
+  }
+  IndexId AddBTree(TableId table, const char* name = "idx") {
+    return catalog.AddIndex(table, name, IndexKind::kBTree, /*unique=*/false);
+  }
+  IndexId AddHash(TableId table, const char* name = "hash") {
+    return catalog.AddIndex(table, name, IndexKind::kHash, /*unique=*/false);
+  }
+};
+
+using RowMap = std::map<uint64_t, std::string>;          // rid -> bytes
+using IndexSet = std::multiset<std::pair<uint64_t, uint64_t>>;
+
+RowMap DumpHeap(Catalog& catalog, TableId table) {
+  RowMap out;
+  EXPECT_TRUE(catalog.table(table)
+                  .heap->Scan([&](Rid rid, std::span<const uint8_t> rec) {
+                    out[rid.ToU64()] = std::string(
+                        reinterpret_cast<const char*>(rec.data()), rec.size());
+                  })
+                  .ok());
+  return out;
+}
+
+IndexSet DumpBTree(Catalog& catalog, IndexId index) {
+  IndexSet out;
+  catalog.index(index).btree->Scan(0, UINT64_MAX,
+                                   [&](uint64_t k, uint64_t v) {
+                                     out.emplace(k, v);
+                                     return true;
+                                   });
+  return out;
+}
+
+/// Committed-prefix shadow: table rows + index entries after each commit.
+struct ShadowState {
+  RowMap rows;
+  IndexSet index;
+  bool operator==(const ShadowState&) const = default;
+};
+
+// ---- CRC32C and wire format -------------------------------------------------
+
+TEST(Crc32cTest, KnownVectorsAndComposition) {
+  // RFC 3720 / standard CRC32C check value.
+  EXPECT_EQ(Crc32c(0, "123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c(0, "", 0), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  uint8_t zeros[32] = {};
+  EXPECT_EQ(Crc32c(0, zeros, sizeof(zeros)), 0x8A9136AAu);
+  // Incremental composition must equal one-shot.
+  const std::string s = "speculative lock inheritance";
+  for (size_t cut = 0; cut <= s.size(); ++cut) {
+    EXPECT_EQ(Crc32c(Crc32c(0, s.data(), cut), s.data() + cut, s.size() - cut),
+              Crc32c(0, s.data(), s.size()));
+  }
+}
+
+/// Serialize one sealed record onto `stream`.
+void AppendRecord(std::vector<uint8_t>* stream, uint64_t txn,
+                  LogRecordType type, const void* payload,
+                  uint32_t payload_len) {
+  const LogRecordHeader hdr =
+      MakeLogRecordHeader(txn, type, stream->size(), payload, payload_len);
+  const auto* h = reinterpret_cast<const uint8_t*>(&hdr);
+  stream->insert(stream->end(), h, h + sizeof(hdr));
+  const auto* p = static_cast<const uint8_t*>(payload);
+  if (payload_len > 0) stream->insert(stream->end(), p, p + payload_len);
+}
+
+TEST(LogRecordTest, SealDecodeRoundTrip) {
+  std::vector<uint8_t> stream;
+  const std::string body = "after-image bytes";
+  AppendRecord(&stream, 42, LogRecordType::kUpdate, body.data(),
+               static_cast<uint32_t>(body.size()));
+  AppendRecord(&stream, 43, LogRecordType::kCommit, nullptr, 0);
+
+  LogRecordHeader hdr;
+  const uint8_t* payload = nullptr;
+  ASSERT_EQ(DecodeLogRecord(stream.data(), stream.size(), 0, 0, &hdr,
+                            &payload),
+            LogScanStatus::kOk);
+  EXPECT_EQ(hdr.txn_id, 42u);
+  EXPECT_EQ(hdr.type, static_cast<uint8_t>(LogRecordType::kUpdate));
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(payload),
+                        hdr.payload_len),
+            body);
+  const size_t second = sizeof(LogRecordHeader) + body.size();
+  ASSERT_EQ(DecodeLogRecord(stream.data(), stream.size(), second, 0, &hdr,
+                            &payload),
+            LogScanStatus::kOk);
+  EXPECT_EQ(hdr.txn_id, 43u);
+  EXPECT_EQ(DecodeLogRecord(stream.data(), stream.size(), stream.size(), 0,
+                            &hdr, &payload),
+            LogScanStatus::kEndOfStream);
+}
+
+TEST(LogRecordTest, EveryBitFlipIsDetected) {
+  std::vector<uint8_t> stream;
+  const std::string body = "payload under checksum";
+  AppendRecord(&stream, 7, LogRecordType::kInsert, body.data(),
+               static_cast<uint32_t>(body.size()));
+  LogRecordHeader hdr;
+  const uint8_t* payload = nullptr;
+  ASSERT_EQ(DecodeLogRecord(stream.data(), stream.size(), 0, 0, &hdr,
+                            &payload),
+            LogScanStatus::kOk);
+  for (size_t byte = 0; byte < stream.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupt = stream;
+      corrupt[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(DecodeLogRecord(corrupt.data(), corrupt.size(), 0, 0, &hdr,
+                                &payload),
+                LogScanStatus::kOk)
+          << "flip at byte " << byte << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(LogRecordTest, RecordAtWrongOffsetRejected) {
+  // A bytewise-valid record landing at the wrong LSN (stale ring bytes,
+  // misdirected write) must fail the self-LSN check: the CRC covers the
+  // lsn field, so relocation cannot be patched up.
+  std::vector<uint8_t> stream(16, 0);  // 16 bytes of junk prefix
+  const LogRecordHeader hdr =
+      MakeLogRecordHeader(9, LogRecordType::kCommit, /*lsn=*/0, nullptr, 0);
+  const auto* h = reinterpret_cast<const uint8_t*>(&hdr);
+  stream.insert(stream.end(), h, h + sizeof(hdr));
+  LogRecordHeader out;
+  const uint8_t* payload = nullptr;
+  EXPECT_EQ(DecodeLogRecord(stream.data(), stream.size(), 16, 0, &out,
+                            &payload),
+            LogScanStatus::kBadLsn);
+}
+
+// ---- log devices ------------------------------------------------------------
+
+TEST(LogDeviceTest, InMemoryTornWriteInjection) {
+  InMemoryLogDevice dev;
+  const std::vector<uint8_t> chunk(100, 0xAB);
+  ASSERT_TRUE(dev.Append(chunk.data(), chunk.size(), 0).ok());
+  dev.CrashAfter(40);
+  ASSERT_TRUE(dev.Append(chunk.data(), chunk.size(), 100).ok());
+  EXPECT_TRUE(dev.crashed());
+  EXPECT_EQ(dev.DurableBytes(), 140u);  // 100 + torn 40-byte prefix
+  // Post-crash writes vanish entirely.
+  ASSERT_TRUE(dev.Append(chunk.data(), chunk.size(), 200).ok());
+  EXPECT_EQ(dev.DurableBytes(), 140u);
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(dev.ReadAll(&back).ok());
+  EXPECT_EQ(back.size(), 140u);
+}
+
+TEST(LogDeviceTest, FileDeviceRoundTrip) {
+  const std::string path = "slidb_file_device_test.log";
+  {
+    std::unique_ptr<FileLogDevice> dev;
+    ASSERT_TRUE(FileLogDevice::Open(path, /*sync_each_flush=*/true, &dev)
+                    .ok());
+    std::vector<uint8_t> a(64), b(32);
+    for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<uint8_t>(i);
+    for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<uint8_t>(200 + i);
+    ASSERT_TRUE(dev->Append(a.data(), a.size(), 0).ok());
+    ASSERT_TRUE(dev->Append(b.data(), b.size(), 64).ok());
+    EXPECT_EQ(dev->DurableBytes(), 96u);
+    std::vector<uint8_t> back;
+    ASSERT_TRUE(dev->ReadAll(&back).ok());
+    ASSERT_EQ(back.size(), 96u);
+    EXPECT_EQ(back[0], 0u);
+    EXPECT_EQ(back[64], 200u);
+  }
+  std::vector<uint8_t> reread;
+  ASSERT_TRUE(FileLogDevice::ReadFile(path, &reread).ok());
+  EXPECT_EQ(reread.size(), 96u);
+  std::remove(path.c_str());
+}
+
+// ---- recovery scan ----------------------------------------------------------
+
+/// Append a heap insert redo record for (table, rid, image).
+void AppendHeapInsert(std::vector<uint8_t>* stream, uint64_t txn,
+                      uint32_t table, Rid rid, const std::string& image) {
+  std::vector<uint8_t> payload(sizeof(HeapRedoPayload) + image.size());
+  HeapRedoPayload row{};
+  row.table = table;
+  row.slot = rid.slot;
+  row.page_no = rid.page_no;
+  std::memcpy(payload.data(), &row, sizeof(row));
+  std::memcpy(payload.data() + sizeof(row), image.data(), image.size());
+  AppendRecord(stream, txn, LogRecordType::kInsert, payload.data(),
+               static_cast<uint32_t>(payload.size()));
+}
+
+TEST(RecoveryScanTest, CleanTornAndCorruptTails) {
+  std::vector<uint8_t> stream;
+  AppendRecord(&stream, 1, LogRecordType::kBegin, nullptr, 0);
+  AppendHeapInsert(&stream, 1, 0, Rid{0, 0}, "row-1.0.");
+  AppendRecord(&stream, 1, LogRecordType::kCommit, nullptr, 0);
+  const size_t committed_end = stream.size();
+  AppendRecord(&stream, 2, LogRecordType::kBegin, nullptr, 0);
+  AppendHeapInsert(&stream, 2, 0, Rid{0, 1}, "row-2.0.");
+
+  {  // Clean stream: no torn tail, txn 1 committed, txn 2 a ghost.
+    RecoveryManager rm(stream);
+    const RecoveryReport& r = rm.Scan();
+    EXPECT_FALSE(r.torn_tail);
+    EXPECT_EQ(r.tail_status, LogScanStatus::kEndOfStream);
+    EXPECT_EQ(r.records_scanned, 5u);
+    EXPECT_EQ(r.committed_txns, 1u);
+    EXPECT_EQ(r.uncommitted_txns, 1u);
+    EXPECT_TRUE(rm.IsCommitted(1));
+    EXPECT_FALSE(rm.IsCommitted(2));
+  }
+  {  // Truncation inside the tail record's header.
+    CounterSet counters;
+    ScopedCounterSet routed(&counters);
+    RecoveryManager rm(std::vector<uint8_t>(
+        stream.begin(), stream.begin() + committed_end + 10));
+    const RecoveryReport& r = rm.Scan();
+    EXPECT_TRUE(r.torn_tail);
+    EXPECT_EQ(r.tail_status, LogScanStatus::kTornHeader);
+    EXPECT_EQ(r.valid_prefix_end, committed_end);
+    EXPECT_EQ(r.tail_bytes_discarded, 10u);
+    EXPECT_EQ(counters.Get(Counter::kLogChecksumFail), 1u);
+    EXPECT_EQ(counters.Get(Counter::kRecoveryTornTails), 1u);
+  }
+  {  // Bit flip inside an already-durable record: scan stops there.
+    CounterSet counters;
+    ScopedCounterSet routed(&counters);
+    std::vector<uint8_t> corrupt = stream;
+    corrupt[sizeof(LogRecordHeader) + sizeof(LogRecordHeader) + 20] ^= 0x40;
+    RecoveryManager rm(corrupt);
+    const RecoveryReport& r = rm.Scan();
+    EXPECT_TRUE(r.torn_tail);
+    EXPECT_EQ(r.records_scanned, 1u);  // only txn 1's begin survives
+    EXPECT_EQ(r.committed_txns, 0u);
+    EXPECT_EQ(counters.Get(Counter::kLogChecksumFail), 1u);
+  }
+}
+
+TEST(RecoveryScanTest, UncommittedMutationsNeverReplayed) {
+  std::vector<uint8_t> stream;
+  AppendHeapInsert(&stream, 1, 0, Rid{0, 0}, "keep-me.");
+  AppendRecord(&stream, 1, LogRecordType::kCommit, nullptr, 0);
+  AppendHeapInsert(&stream, 2, 0, Rid{0, 1}, "ghost!!!");  // no commit
+
+  CounterSet counters;
+  ScopedCounterSet routed(&counters);
+  RecoveryTarget target;
+  const TableId t = target.AddTable();
+  RecoveryManager rm(stream);
+  ASSERT_TRUE(rm.Replay(&target.catalog).ok());
+  const RowMap rows = DumpHeap(target.catalog, t);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.begin()->second, "keep-me.");
+  EXPECT_EQ(rm.report().records_replayed, 1u);
+  EXPECT_EQ(rm.report().records_skipped, 1u);
+  EXPECT_EQ(counters.Get(Counter::kRecoveryRecordsReplayed), 1u);
+  EXPECT_EQ(counters.Get(Counter::kRecoveryRecordsSkipped), 1u);
+  EXPECT_EQ(counters.Get(Counter::kRecoveryCommittedTxns), 1u);
+}
+
+// ---- the torn-tail sweep (acceptance criterion) -----------------------------
+
+/// Runs a deterministic workload against a real Database whose durable
+/// stream is captured by `sink`. Returns the shadow snapshots: expected
+/// (rows, index) state after each commit, snapshots[0] = empty. Also
+/// returns the txn id of each commit in commit order.
+void RunSweepWorkload(CrashSink* sink, std::vector<ShadowState>* snapshots,
+                      std::vector<uint64_t>* commit_ids) {
+  DatabaseOptions o = TestOptions();
+  sink->Install(&o.log);
+  Database db(o);
+  const TableId t = db.CreateTable("accounts");
+  const IndexId idx = db.CreateIndex(t, "by_key", IndexKind::kBTree,
+                                     /*unique=*/false);
+  auto agent = db.CreateAgent();
+
+  ShadowState shadow;
+  snapshots->push_back(shadow);
+
+  std::vector<Rid> rids;
+  constexpr int kTxns = 18;
+  for (int i = 0; i < kTxns; ++i) {
+    db.Begin(agent.get());
+    const uint64_t id = agent->txn().id();
+    char row[8];
+    std::snprintf(row, sizeof(row), "r%06d", i);
+    Rid rid;
+    ASSERT_TRUE(db.Insert(agent.get(), t, Bytes(std::string(row, 8)), &rid)
+                    .ok());
+    ASSERT_TRUE(db.IndexInsert(agent.get(), idx, 1000 + i, rid.ToU64()).ok());
+    ShadowState next = shadow;
+    next.rows[rid.ToU64()] = std::string(row, 8);
+    next.index.emplace(1000 + i, rid.ToU64());
+    rids.push_back(rid);
+    if (i >= 3) {
+      // Mutate earlier state too: update row i-3 (if it survived its txn —
+      // an aborted insert leaves a dead rid), delete row i-9 sometimes.
+      const Rid victim = rids[i - 3];
+      if (next.rows.count(victim.ToU64()) != 0) {
+        char upd[8];
+        std::snprintf(upd, sizeof(upd), "u%06d", i);
+        ASSERT_TRUE(
+            db.Update(agent.get(), t, victim, Bytes(std::string(upd, 8)))
+                .ok());
+        next.rows[victim.ToU64()] = std::string(upd, 8);
+      }
+      if (i % 4 == 3 && i >= 9) {
+        const Rid gone = rids[i - 9];
+        if (next.rows.count(gone.ToU64())) {
+          ASSERT_TRUE(db.Delete(agent.get(), t, gone).ok());
+          ASSERT_TRUE(db.IndexRemove(agent.get(), idx, 1000 + (i - 9),
+                                     gone.ToU64())
+                          .ok());
+          next.rows.erase(gone.ToU64());
+          next.index.erase(next.index.find({1000u + (i - 9), gone.ToU64()}));
+        }
+      }
+    }
+    // Every third transaction aborts after doing work: its records are in
+    // the log but must never replay.
+    if (i % 3 == 2) {
+      db.Abort(agent.get());
+      continue;
+    }
+    ASSERT_TRUE(db.Commit(agent.get()).ok());
+    shadow = std::move(next);
+    snapshots->push_back(shadow);
+    commit_ids->push_back(id);
+  }
+  // Database destructor drains the flusher: the capture is complete.
+}
+
+TEST(RecoverySweepTest, TruncationAtEveryByteYieldsACommittedPrefix) {
+  CrashSink sink;
+  std::vector<ShadowState> snapshots;
+  std::vector<uint64_t> commit_ids;
+  RunSweepWorkload(&sink, &snapshots, &commit_ids);
+  const std::vector<uint8_t> stream = sink.Stream();
+  ASSERT_GT(stream.size(), 0u);
+  ASSERT_FALSE(sink.device.crashed());
+
+  // Pre-compute the set of record boundaries from a full scan: truncating
+  // exactly at a boundary is a clean end; anywhere else must be reported
+  // (and counted) as a corrupt tail.
+  std::set<size_t> boundaries{0};
+  {
+    RecoveryManager rm(stream);
+    const RecoveryReport& r = rm.Scan();
+    ASSERT_FALSE(r.torn_tail);
+    size_t pos = 0;
+    LogRecordHeader hdr;
+    const uint8_t* payload = nullptr;
+    while (DecodeLogRecord(stream.data(), stream.size(), pos, 0, &hdr,
+                           &payload) == LogScanStatus::kOk) {
+      pos += sizeof(LogRecordHeader) + hdr.payload_len;
+      boundaries.insert(pos);
+    }
+    ASSERT_EQ(pos, stream.size());
+  }
+
+  for (size_t cut = 0; cut <= stream.size(); ++cut) {
+    CounterSet counters;
+    ScopedCounterSet routed(&counters);
+    RecoveryManager rm(
+        std::vector<uint8_t>(stream.begin(), stream.begin() + cut));
+    rm.Scan();
+    const RecoveryReport& r = rm.report();
+
+    // Committed set must be exactly the first k commits, in commit order.
+    const size_t k = r.committed_txns;
+    ASSERT_LE(k, commit_ids.size()) << "cut=" << cut;
+    for (size_t i = 0; i < commit_ids.size(); ++i) {
+      EXPECT_EQ(rm.IsCommitted(commit_ids[i]), i < k)
+          << "cut=" << cut << " commit#" << i;
+    }
+
+    // Torn-tail accounting: exact iff the cut is off a record boundary.
+    const bool at_boundary = boundaries.count(cut) != 0;
+    EXPECT_EQ(r.torn_tail, !at_boundary) << "cut=" << cut;
+    EXPECT_EQ(counters.Get(Counter::kLogChecksumFail), at_boundary ? 0u : 1u)
+        << "cut=" << cut;
+
+    // Replayed state must equal the k-commit shadow snapshot exactly.
+    RecoveryTarget target;
+    const TableId t = target.AddTable();
+    const IndexId idx = target.AddBTree(t);
+    ASSERT_TRUE(rm.Replay(&target.catalog).ok()) << "cut=" << cut;
+    EXPECT_EQ(DumpHeap(target.catalog, t), snapshots[k].rows)
+        << "cut=" << cut;
+    EXPECT_EQ(DumpBTree(target.catalog, idx), snapshots[k].index)
+        << "cut=" << cut;
+  }
+}
+
+TEST(RecoverySweepTest, MidStreamBitFlipsYieldACommittedPrefix) {
+  // A flip in the middle of the stream (not just the tail) must degrade
+  // recovery to the prefix before the flipped record — never to a mixed or
+  // corrupted state. Sampled stride keeps the quadratic cost down.
+  CrashSink sink;
+  std::vector<ShadowState> snapshots;
+  std::vector<uint64_t> commit_ids;
+  RunSweepWorkload(&sink, &snapshots, &commit_ids);
+  const std::vector<uint8_t> stream = sink.Stream();
+
+  for (size_t byte = 0; byte < stream.size(); byte += 13) {
+    std::vector<uint8_t> corrupt = stream;
+    corrupt[byte] ^= 0x20;
+    RecoveryManager rm(std::move(corrupt));
+    rm.Scan();
+    const size_t k = rm.report().committed_txns;
+    ASSERT_LE(k, commit_ids.size()) << "byte=" << byte;
+    RecoveryTarget target;
+    const TableId t = target.AddTable();
+    const IndexId idx = target.AddBTree(t);
+    ASSERT_TRUE(rm.Replay(&target.catalog).ok()) << "byte=" << byte;
+    EXPECT_EQ(DumpHeap(target.catalog, t), snapshots[k].rows)
+        << "byte=" << byte;
+    EXPECT_EQ(DumpBTree(target.catalog, idx), snapshots[k].index)
+        << "byte=" << byte;
+  }
+}
+
+// ---- randomized histories (property test) -----------------------------------
+
+TEST(RecoveryFuzzTest, RandomHistoryCrashAtRandomFlushMatchesShadow) {
+  // TPC-B-style randomized single-agent histories through the real
+  // pipeline; the device crashes at a random byte (armed mid-run, so the
+  // cut lands inside whatever flush is in flight). Recovery must produce
+  // exactly the state of the committed prefix. Failures print the seed.
+  const uint64_t kSeeds[] = {1, 7, 42, 1009, 88172645463325252ull};
+  for (const uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 "  (re-run: RecoveryFuzzTest filters + this seed)");
+    Rng rng(seed);
+
+    CrashSink sink;
+    std::vector<ShadowState> snapshots;
+    std::vector<uint64_t> commit_ids;
+    {
+      DatabaseOptions o = TestOptions();
+      sink.Install(&o.log);
+      Database db(o);
+      const TableId t = db.CreateTable("t");
+      const IndexId idx = db.CreateIndex(t, "i", IndexKind::kBTree,
+                                         /*unique=*/false);
+      auto agent = db.CreateAgent(seed);
+
+      ShadowState shadow;
+      snapshots.push_back(shadow);
+      std::vector<std::pair<Rid, uint64_t>> live;  // rid + index key
+      uint64_t next_key = 1;
+
+      const int txns = 30 + static_cast<int>(rng.Next() % 20);
+      const uint64_t crash_at = rng.Next() % 4000;
+      bool armed = false;
+      for (int i = 0; i < txns; ++i) {
+        if (!armed && i == txns / 3) {
+          // Arm mid-run so the crash races live flushes of later txns.
+          sink.Arm(crash_at);
+          armed = true;
+        }
+        db.Begin(agent.get());
+        const uint64_t id = agent->txn().id();
+        // The whole pending state — shadow AND the live-rid working set —
+        // is transactional: an abort must discard both, mirroring undo.
+        ShadowState next = shadow;
+        std::vector<std::pair<Rid, uint64_t>> next_live = live;
+        const int ops = 1 + static_cast<int>(rng.Next() % 4);
+        for (int op = 0; op < ops; ++op) {
+          const uint64_t pick = rng.Next() % 10;
+          if (pick < 4 || next_live.empty()) {  // insert
+            char row[8];
+            std::snprintf(row, sizeof(row), "k%06llu",
+                          static_cast<unsigned long long>(next_key % 1000000));
+            Rid rid;
+            ASSERT_TRUE(
+                db.Insert(agent.get(), t, Bytes(std::string(row, 8)), &rid)
+                    .ok());
+            ASSERT_TRUE(
+                db.IndexInsert(agent.get(), idx, next_key, rid.ToU64()).ok());
+            next.rows[rid.ToU64()] = std::string(row, 8);
+            next.index.emplace(next_key, rid.ToU64());
+            next_live.emplace_back(rid, next_key);
+            ++next_key;
+          } else if (pick < 8) {  // update
+            const auto& victim = next_live[rng.Next() % next_live.size()];
+            char row[8];
+            std::snprintf(row, sizeof(row), "u%06llu",
+                          static_cast<unsigned long long>(rng.Next() %
+                                                          1000000));
+            ASSERT_TRUE(db.Update(agent.get(), t, victim.first,
+                                  Bytes(std::string(row, 8)))
+                            .ok());
+            next.rows[victim.first.ToU64()] = std::string(row, 8);
+          } else {  // delete
+            const size_t vi = rng.Next() % next_live.size();
+            const auto victim = next_live[vi];
+            ASSERT_TRUE(db.Delete(agent.get(), t, victim.first).ok());
+            ASSERT_TRUE(db.IndexRemove(agent.get(), idx, victim.second,
+                                       victim.first.ToU64())
+                            .ok());
+            next.rows.erase(victim.first.ToU64());
+            next.index.erase(
+                next.index.find({victim.second, victim.first.ToU64()}));
+            next_live.erase(next_live.begin() + static_cast<ptrdiff_t>(vi));
+          }
+        }
+        if (rng.Next() % 5 == 0) {  // user abort
+          db.Abort(agent.get());
+          continue;
+        }
+        ASSERT_TRUE(db.Commit(agent.get()).ok());
+        shadow = std::move(next);
+        live = std::move(next_live);
+        snapshots.push_back(shadow);
+        commit_ids.push_back(id);
+      }
+    }  // db teardown drains whatever the "device" still accepts
+
+    const std::vector<uint8_t> stream = sink.Stream();
+    RecoveryManager rm(stream);
+    rm.Scan();
+    const size_t k = rm.report().committed_txns;
+    ASSERT_LE(k, commit_ids.size());
+    for (size_t i = 0; i < commit_ids.size(); ++i) {
+      EXPECT_EQ(rm.IsCommitted(commit_ids[i]), i < k) << "commit#" << i;
+    }
+    RecoveryTarget target;
+    const TableId t = target.AddTable();
+    const IndexId idx = target.AddBTree(t);
+    ASSERT_TRUE(rm.Replay(&target.catalog).ok());
+    EXPECT_EQ(DumpHeap(target.catalog, t), snapshots[k].rows);
+    EXPECT_EQ(DumpBTree(target.catalog, idx), snapshots[k].index);
+  }
+}
+
+// ---- engine-level recovery --------------------------------------------------
+
+TEST(RecoveryEngineTest, FileBackedDatabaseRecoversAndResumes) {
+  const std::string path = "slidb_recovery_e2e.log";
+  Rid r1, r2;
+  uint64_t committed_txns = 0;
+  {
+    DatabaseOptions o = TestOptions();
+    o.log_path = path;
+    Database db(o);
+    ASSERT_NE(db.log_device(), nullptr);
+    const TableId t = db.CreateTable("t");
+    const IndexId idx = db.CreateIndex(t, "i", IndexKind::kBTree, false);
+    auto agent = db.CreateAgent();
+
+    db.Begin(agent.get());
+    ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("first..."), &r1).ok());
+    ASSERT_TRUE(db.IndexInsert(agent.get(), idx, 10, r1.ToU64()).ok());
+    ASSERT_TRUE(db.Commit(agent.get()).ok());
+    ++committed_txns;
+
+    db.Begin(agent.get());
+    ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("doomed.."), &r2).ok());
+    db.Abort(agent.get());
+
+    db.Begin(agent.get());
+    ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("second.."), &r2).ok());
+    ASSERT_TRUE(db.IndexInsert(agent.get(), idx, 20, r2.ToU64()).ok());
+    ASSERT_TRUE(db.Commit(agent.get()).ok());
+    ++committed_txns;
+  }  // clean shutdown: all records durable in the file
+
+  DatabaseOptions o = TestOptions();
+  Database db(o);
+  const TableId t = db.CreateTable("t");
+  const IndexId idx = db.CreateIndex(t, "i", IndexKind::kBTree, false);
+  RecoveryReport report;
+  ASSERT_TRUE(db.Recover(path, &report).ok());
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_EQ(report.committed_txns, committed_txns);
+  EXPECT_GT(report.records_replayed, 0u);
+
+  auto agent = db.CreateAgent();
+  db.Begin(agent.get());
+  char buf[8];
+  ASSERT_TRUE(db.Read(agent.get(), t, r1, buf, 8).ok());
+  EXPECT_EQ(std::memcmp(buf, "first...", 8), 0);
+  ASSERT_TRUE(db.Read(agent.get(), t, r2, buf, 8).ok());
+  EXPECT_EQ(std::memcmp(buf, "second..", 8), 0);
+  uint64_t v = 0;
+  ASSERT_TRUE(db.IndexLookup(idx, 10, &v).ok());
+  EXPECT_EQ(v, r1.ToU64());
+  ASSERT_TRUE(db.Commit(agent.get()).ok());
+
+  // Recovered id space: new transactions log above every recovered id.
+  db.Begin(agent.get());
+  EXPECT_GT(agent->txn().id(), report.max_txn_id);
+  Rid r3;
+  ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("post-rec"), &r3).ok());
+  ASSERT_TRUE(db.Commit(agent.get()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryEngineTest, RestartInPlaceSurvivesASecondCrash) {
+  // The operator's natural restart flow: reuse the SAME log_path for the
+  // recovered database. The device must not clobber the old log before
+  // Recover() reads it (truncation is deferred to the first append), and
+  // recovery must re-log the recovered state as a snapshot — otherwise a
+  // second crash would lose everything from before the first one.
+  const std::string path = "slidb_restart_in_place.log";
+  Rid r1;
+  {  // generation 1: one committed row, then "crash" (teardown).
+    DatabaseOptions o = TestOptions();
+    o.log_path = path;
+    Database db(o);
+    const TableId t = db.CreateTable("t");
+    auto agent = db.CreateAgent();
+    db.Begin(agent.get());
+    ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("gen-one!"), &r1).ok());
+    ASSERT_TRUE(db.Commit(agent.get()).ok());
+  }
+  Rid r2;
+  {  // generation 2: restart in place, recover, add a row, crash again.
+    DatabaseOptions o = TestOptions();
+    o.log_path = path;
+    Database db(o);
+    const TableId t = db.CreateTable("t");
+    RecoveryReport report;
+    ASSERT_TRUE(db.Recover(path, &report).ok());
+    EXPECT_EQ(report.committed_txns, 1u);
+    auto agent = db.CreateAgent();
+    db.Begin(agent.get());
+    char buf[8];
+    ASSERT_TRUE(db.Read(agent.get(), t, r1, buf, 8).ok());
+    EXPECT_EQ(std::memcmp(buf, "gen-one!", 8), 0);
+    ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("gen-two!"), &r2).ok());
+    ASSERT_TRUE(db.Commit(agent.get()).ok());
+  }
+  {  // generation 3: BOTH generations' rows must recover from the new log.
+    DatabaseOptions o = TestOptions();
+    Database db(o);
+    const TableId t = db.CreateTable("t");
+    RecoveryReport report;
+    ASSERT_TRUE(db.Recover(path, &report).ok());
+    EXPECT_EQ(report.committed_txns, 2u);  // snapshot txn + gen-2 txn
+    auto agent = db.CreateAgent();
+    db.Begin(agent.get());
+    char buf[8];
+    ASSERT_TRUE(db.Read(agent.get(), t, r1, buf, 8).ok());
+    EXPECT_EQ(std::memcmp(buf, "gen-one!", 8), 0);
+    ASSERT_TRUE(db.Read(agent.get(), t, r2, buf, 8).ok());
+    EXPECT_EQ(std::memcmp(buf, "gen-two!", 8), 0);
+    ASSERT_TRUE(db.Commit(agent.get()).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryEngineTest, HashIndexEntriesReplay) {
+  CrashSink sink;
+  DatabaseOptions o = TestOptions();
+  sink.Install(&o.log);
+  Rid rid;
+  {
+    Database db(o);
+    const TableId t = db.CreateTable("t");
+    const IndexId h = db.CreateIndex(t, "h", IndexKind::kHash, false);
+    auto agent = db.CreateAgent();
+    db.Begin(agent.get());
+    ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("hashed.."), &rid).ok());
+    ASSERT_TRUE(db.IndexInsert(agent.get(), h, 77, rid.ToU64()).ok());
+    ASSERT_TRUE(db.IndexInsert(agent.get(), h, 78, rid.ToU64()).ok());
+    ASSERT_TRUE(db.IndexRemove(agent.get(), h, 78, rid.ToU64()).ok());
+    ASSERT_TRUE(db.Commit(agent.get()).ok());
+  }
+  RecoveryTarget target;
+  const TableId t = target.AddTable();
+  const IndexId h = target.AddHash(t);
+  RecoveryManager rm(sink.Stream());
+  ASSERT_TRUE(rm.Replay(&target.catalog).ok());
+  uint64_t v = 0;
+  ASSERT_TRUE(target.catalog.index(h).hash->Lookup(77, &v).ok());
+  EXPECT_EQ(v, rid.ToU64());
+  EXPECT_TRUE(target.catalog.index(h).hash->Lookup(78, &v).IsNotFound());
+}
+
+// ---- concurrency: crash under load & the early-release durability gate ------
+
+/// Threads for concurrency tests, per the ROADMAP single-CPU guidance:
+/// interleaving-independent assertions only, and budgets shrink when the
+/// host cannot actually run threads in parallel.
+int ConcurrencyThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 4) return 4;
+  return 2;
+}
+int ConcurrencyBudget(int per_thread) {
+  return std::thread::hardware_concurrency() >= 2 ? per_thread
+                                                  : per_thread / 4 + 1;
+}
+
+TEST(RecoveryConcurrencyTest, TpcbTransfersCrashConservesTotalBalance) {
+  // Multi-agent account transfers with a crash armed at a random flush:
+  // every committed transaction conserves the total, so ANY committed
+  // prefix must conserve it too — an interleaving-independent invariant.
+  constexpr int kAccounts = 32;
+  constexpr uint64_t kInitialBalance = 1000;
+
+  CrashSink sink;
+  std::vector<Rid> rids(kAccounts);
+  {
+    DatabaseOptions o = TestOptions();
+    sink.Install(&o.log);
+    Database db(o);
+    const TableId t = db.CreateTable("accounts");
+    auto setup = db.CreateAgent();
+    db.Begin(setup.get());
+    for (int i = 0; i < kAccounts; ++i) {
+      ASSERT_TRUE(db.Insert(setup.get(), t,
+                            {reinterpret_cast<const uint8_t*>(&kInitialBalance),
+                             sizeof(kInitialBalance)},
+                            &rids[i])
+                      .ok());
+    }
+    ASSERT_TRUE(db.Commit(setup.get()).ok());
+    // Setup must be durable before the crash window opens.
+    db.log_manager().WaitDurable(db.log_manager().appended_lsn());
+
+    Rng arm_rng(2026);
+    sink.Arm(500 + arm_rng.Next() % 8000);
+
+    const int threads = ConcurrencyThreads();
+    const int transfers = ConcurrencyBudget(150);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        auto agent = db.CreateAgent(100 + w);
+        Rng rng(977 * (w + 1));
+        for (int i = 0; i < transfers; ++i) {
+          size_t a = rng.Next() % kAccounts;
+          size_t b = rng.Next() % kAccounts;
+          if (a == b) continue;
+          if (b < a) std::swap(a, b);  // canonical order: no deadlocks
+          db.Begin(agent.get());
+          uint64_t ba = 0, bb = 0;
+          if (!db.LockRowExclusive(agent.get(), t, rids[a]).ok() ||
+              !db.LockRowExclusive(agent.get(), t, rids[b]).ok() ||
+              !db.Read(agent.get(), t, rids[a], &ba, sizeof(ba)).ok() ||
+              !db.Read(agent.get(), t, rids[b], &bb, sizeof(bb)).ok()) {
+            db.Abort(agent.get());
+            continue;
+          }
+          const uint64_t d = rng.Next() % 50;
+          if (ba < d) {
+            db.Abort(agent.get());
+            continue;
+          }
+          ba -= d;
+          bb += d;
+          if (!db.Update(agent.get(), t, rids[a],
+                         {reinterpret_cast<const uint8_t*>(&ba), sizeof(ba)})
+                   .ok() ||
+              !db.Update(agent.get(), t, rids[b],
+                         {reinterpret_cast<const uint8_t*>(&bb), sizeof(bb)})
+                   .ok()) {
+            db.Abort(agent.get());
+            continue;
+          }
+          ASSERT_TRUE(db.Commit(agent.get()).ok());
+        }
+      });
+    }
+    for (auto& th : workers) th.join();
+  }
+
+  // Recover the crashed stream and check conservation.
+  RecoveryTarget target;
+  const TableId t = target.AddTable();
+  RecoveryManager rm(sink.Stream());
+  ASSERT_TRUE(rm.Replay(&target.catalog).ok());
+  const RowMap rows = DumpHeap(target.catalog, t);
+  ASSERT_EQ(rows.size(), static_cast<size_t>(kAccounts))
+      << "setup transaction must always survive (it was durable pre-crash)";
+  uint64_t total = 0;
+  for (const auto& [rid, bytes] : rows) {
+    ASSERT_EQ(bytes.size(), sizeof(uint64_t));
+    uint64_t bal = 0;
+    std::memcpy(&bal, bytes.data(), sizeof(bal));
+    total += bal;
+  }
+  EXPECT_EQ(total, kAccounts * kInitialBalance);
+}
+
+/// Incrementally parses the durable stream and records which transactions
+/// have a durable commit record — the oracle for the early-release gate.
+struct DurabilityAudit {
+  std::mutex mu;
+  std::vector<uint8_t> bytes;
+  size_t parsed = 0;
+  std::unordered_set<uint64_t> committed;
+
+  void Install(LogOptions* o) {
+    o->flush_sink = [this](const uint8_t* d, size_t n, Lsn) {
+      std::lock_guard<std::mutex> g(mu);
+      bytes.insert(bytes.end(), d, d + n);
+      LogRecordHeader hdr;
+      const uint8_t* payload = nullptr;
+      while (DecodeLogRecord(bytes.data(), bytes.size(), parsed, 0, &hdr,
+                             &payload) == LogScanStatus::kOk) {
+        if (hdr.type == static_cast<uint8_t>(LogRecordType::kCommit)) {
+          committed.insert(hdr.txn_id);
+        }
+        parsed += sizeof(LogRecordHeader) + hdr.payload_len;
+      }
+    };
+  }
+  bool HasDurableCommit(uint64_t txn_id) {
+    std::lock_guard<std::mutex> g(mu);
+    return committed.count(txn_id) != 0;
+  }
+};
+
+TEST(RecoveryConcurrencyTest, EarlyReleaseNeverReportsCommitBeforeDurable) {
+  // Regression gate for the PR 2 default: with early_lock_release=true a
+  // transaction's locks drop before its commit I/O completes, but Commit()
+  // must still not RETURN until the commit record is durable in the sink.
+  // The audit sink is the durable stream itself, so this check is exact.
+  DurabilityAudit audit;
+  DatabaseOptions o = TestOptions();
+  ASSERT_TRUE(o.txn.early_lock_release);
+  audit.Install(&o.log);
+  Database db(o);
+  const TableId t = db.CreateTable("t");
+
+  // Shared rows so early release actually interleaves lock hand-offs.
+  std::vector<Rid> rids(8);
+  {
+    auto setup = db.CreateAgent();
+    db.Begin(setup.get());
+    const uint64_t zero = 0;
+    for (auto& rid : rids) {
+      ASSERT_TRUE(db.Insert(setup.get(), t,
+                            {reinterpret_cast<const uint8_t*>(&zero),
+                             sizeof(zero)},
+                            &rid)
+                      .ok());
+    }
+    ASSERT_TRUE(db.Commit(setup.get()).ok());
+  }
+
+  const int threads = ConcurrencyThreads();
+  const int txns = ConcurrencyBudget(200);
+  std::atomic<uint64_t> violations{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      auto agent = db.CreateAgent(500 + w);
+      Rng rng(31 * (w + 7));
+      for (int i = 0; i < txns; ++i) {
+        db.Begin(agent.get());
+        const uint64_t id = agent->txn().id();
+        const Rid rid = rids[rng.Next() % rids.size()];
+        uint64_t v = static_cast<uint64_t>(i);
+        if (!db.Update(agent.get(), t, rid,
+                       {reinterpret_cast<const uint8_t*>(&v), sizeof(v)})
+                 .ok()) {
+          db.Abort(agent.get());
+          continue;
+        }
+        ASSERT_TRUE(db.Commit(agent.get()).ok());
+        // THE gate: the caller has been told "committed" — the commit
+        // record must already be durable in the device stream.
+        if (!audit.HasDurableCommit(id)) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  EXPECT_EQ(violations.load(), 0u)
+      << "Commit() returned before its commit record was durable";
+}
+
+}  // namespace
+}  // namespace slidb

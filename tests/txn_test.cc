@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -230,6 +231,10 @@ TEST(TxnTest, EarlyLockReleaseDropsLocksBeforeDurability) {
                   .Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
                         LockMode::kX)
                   .ok());
+  // A logged mutation makes this a write transaction: read-only commits
+  // skip the log-insert/wait-durable phases entirely.
+  const uint8_t img[4] = {1, 2, 3, 4};
+  tm.LogHeapOp(&agent, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
 
   std::atomic<bool> commit_done{false};
   CounterSet commit_counters;
@@ -276,6 +281,8 @@ TEST(TxnTest, LegacyOrderingHoldsLocksUntilDurable) {
                   .Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
                         LockMode::kX)
                   .ok());
+  const uint8_t img[4] = {1, 2, 3, 4};
+  tm.LogHeapOp(&agent, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
 
   std::thread committer([&] { EXPECT_TRUE(tm.Commit(&agent).ok()); });
 
@@ -293,6 +300,85 @@ TEST(TxnTest, LegacyOrderingHoldsLocksUntilDurable) {
   ASSERT_TRUE(lock_manager.Lock(&other, LockId::Table(0, 1), LockMode::kX)
                   .ok());
   lock_manager.ReleaseAll(&other, nullptr, false);
+}
+
+TEST(TxnTest, ReadOnlyCommitWaitsForObservedWritersDurability) {
+  // ELR hazard regression: writer W drops its X lock at commit-record
+  // *insertion*; reader R then takes the lock, reads W's data, and commits
+  // without logging anything. R must still not RETURN before W's record is
+  // durable — otherwise R's caller externalizes state a crash would
+  // un-commit. The read-only fast path therefore waits on the reserved-LSN
+  // horizon instead of skipping the durable wait outright.
+  FlushGate gate;
+  LockManagerOptions lo;
+  lo.deadlock_interval_us = 500;
+  LockManager lock_manager(lo);
+  LogOptions logo;
+  logo.flush_interval_us = 50;
+  gate.Install(&logo);
+  LogManager log_manager(logo);
+  TxnOptions txo;
+  txo.early_lock_release = true;
+  TransactionManager tm(&lock_manager, &log_manager, txo);
+
+  AgentContext writer(0);
+  tm.Begin(&writer);
+  ASSERT_TRUE(lock_manager
+                  .Lock(&writer.txn().lock_client(), LockId::Table(0, 1),
+                        LockMode::kX)
+                  .ok());
+  const uint8_t img[4] = {9, 9, 9, 9};
+  tm.LogHeapOp(&writer, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
+  std::thread w_commit([&] { EXPECT_TRUE(tm.Commit(&writer).ok()); });
+
+  // Reader acquires the lock W released early (the flush is still gated).
+  AgentContext reader(1);
+  tm.Begin(&reader);
+  ASSERT_TRUE(lock_manager
+                  .Lock(&reader.txn().lock_client(), LockId::Table(0, 1),
+                        LockMode::kS)
+                  .ok());
+  std::atomic<bool> r_done{false};
+  std::thread r_commit([&] {
+    EXPECT_TRUE(tm.Commit(&reader).ok());
+    r_done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(r_done.load(std::memory_order_acquire))
+      << "read-only commit returned before the observed writer was durable";
+  // W's begin + update + commit only; R appended nothing.
+  EXPECT_EQ(log_manager.Stats().records, 3u);
+
+  gate.Open();
+  w_commit.join();
+  r_commit.join();
+  EXPECT_TRUE(r_done.load());
+}
+
+TEST(TxnTest, ReadOnlyCommitSkipsLogAndDurableWait) {
+  // A transaction that logged nothing must commit without appending a
+  // record or waiting on the flusher — the sink stays gated (a durable
+  // wait would hang and time the test out) and the log stays empty.
+  FlushGate gate;
+  LockManagerOptions lo;
+  lo.deadlock_interval_us = 500;
+  LockManager lock_manager(lo);
+  LogOptions logo;
+  logo.flush_interval_us = 50;
+  gate.Install(&logo);
+  LogManager log_manager(logo);
+  TransactionManager tm(&lock_manager, &log_manager);
+
+  AgentContext agent(0);
+  tm.Begin(&agent);
+  ASSERT_TRUE(lock_manager
+                  .Lock(&agent.txn().lock_client(), LockId::Table(0, 1),
+                        LockMode::kS)
+                  .ok());
+  ASSERT_TRUE(tm.Commit(&agent).ok());
+  EXPECT_EQ(log_manager.Stats().records, 0u);
+  EXPECT_EQ(log_manager.reserved_lsn(), 0u);
+  gate.Open();  // release the flusher for clean shutdown
 }
 
 TEST(TxnTest, LogBytesTracked) {
