@@ -2,9 +2,13 @@
 //
 // Section 1 — raw log-append throughput: N writer threads hammering
 // LogManager::Append, latch-free reservation vs the legacy single-latch
-// path. On a many-context machine this shows the append-latch
-// serialization directly; on a single-context host the latch cannot
-// convoy, so treat these as trajectory numbers, not the headline.
+// path, plus the batched row (LogStagingBuffer + AppendBatch, 32 sealed
+// records per ring reservation — the transaction-staging publish path).
+// On a many-context machine this shows the append-latch serialization
+// directly; on a single-context host the latch cannot convoy, so treat
+// the latched-vs-reserve comparison as trajectory numbers. The batched
+// row is meaningful everywhere: it amortizes per-record fixed costs that
+// exist even on one core.
 //
 // Section 2 — commit pipeline end-to-end (the headline): TPC-B and the
 // TM1 full mix with a realistic log-device latency charged per flush,
@@ -19,6 +23,7 @@
 //
 // Emits a human table on stdout and, with --json=FILE, the
 // BENCH_workloads.json record consumed by CI's bench smoke job.
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <memory>
@@ -39,13 +44,24 @@ constexpr uint64_t kLogIoDelayUs = 100;
 struct LogAppendSample {
   const char* mode;
   int threads;
+  uint32_t payload_bytes = 0;
   double appends_per_s = 0;
   double mb_per_s = 0;
   uint64_t resv_retries = 0;
+  uint64_t batch_appends = 0;       ///< batch publications (batched mode)
+  double records_per_batch = 0;     ///< mean records amortized per batch
 };
 
-LogAppendSample RunLogAppend(LogOptions::AppendMode mode, int threads,
-                             double duration_s) {
+/// Raw append throughput: per-record (`batch_records` = 0) pays one ticket
+/// fetch-add + slot handoff + seal per record; batched stages
+/// `batch_records` records per AppendBatch publication (the
+/// transaction-staging path, minus the transaction). Records at or below
+/// the 64-byte wire bound additionally publish under kBatchSeal envelopes
+/// — one CRC per run instead of one per record.
+LogAppendSample RunLogAppend(const char* label, LogOptions::AppendMode mode,
+                             int threads, double duration_s,
+                             uint32_t payload_bytes,
+                             uint32_t batch_records = 0) {
   LogOptions o;
   o.append_mode = mode;
   o.flush_interval_us = 10;
@@ -59,12 +75,24 @@ LogAppendSample RunLogAppend(LogOptions::AppendMode mode, int threads,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       ScopedCounterSet routed(&counters[t]);
-      uint8_t payload[96];
-      std::memset(payload, 0x5A, sizeof(payload));
+      std::vector<uint8_t> payload(payload_bytes, 0x5A);
       uint64_t n = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        log.Append(t + 1, LogRecordType::kUpdate, payload, sizeof(payload));
-        ++n;
+      if (batch_records == 0) {
+        while (!stop.load(std::memory_order_relaxed)) {
+          log.Append(t + 1, LogRecordType::kUpdate, payload.data(),
+                     payload_bytes);
+          ++n;
+        }
+      } else {
+        LogStagingBuffer staging;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (uint32_t i = 0; i < batch_records; ++i) {
+            staging.Stage(t + 1, LogRecordType::kUpdate, payload.data(),
+                          payload_bytes);
+          }
+          log.AppendBatch(&staging);
+          n += batch_records;
+        }
       }
       total.fetch_add(n, std::memory_order_relaxed);
     });
@@ -78,12 +106,21 @@ LogAppendSample RunLogAppend(LogOptions::AppendMode mode, int threads,
   const double wall_s = static_cast<double>(NowNanos() - t0) / 1e9;
 
   LogAppendSample s;
-  s.mode = mode == LogOptions::AppendMode::kReserve ? "reserve" : "latched";
+  s.mode = label;
   s.threads = threads;
+  s.payload_bytes = payload_bytes;
   s.appends_per_s = static_cast<double>(total.load()) / wall_s;
-  s.mb_per_s = s.appends_per_s * (96 + 16) / 1e6;
+  s.mb_per_s =
+      s.appends_per_s * (payload_bytes + sizeof(LogRecordHeader)) / 1e6;
+  uint64_t batched_records = 0;
   for (const CounterSet& c : counters) {
     s.resv_retries += c.Get(Counter::kLogResvRetries);
+    s.batch_appends += c.Get(Counter::kLogBatchAppends);
+    batched_records += c.Get(Counter::kLogBatchRecords);
+  }
+  if (s.batch_appends > 0) {
+    s.records_per_batch = static_cast<double>(batched_records) /
+                          static_cast<double>(s.batch_appends);
   }
   return s;
 }
@@ -139,6 +176,7 @@ std::unique_ptr<PaperWorkload> MakeConfigured(const char* which, bool legacy,
     o.log.append_mode = LogOptions::AppendMode::kLatched;
     o.log.waiter_policy = LogOptions::WaiterPolicy::kBroadcast;
     o.txn.early_lock_release = false;
+    o.txn.staged_log_appends = false;  // per-record appends, PR-2 baseline
   }
   auto pw = std::make_unique<PaperWorkload>();
   pw->db = std::make_unique<Database>(o);
@@ -171,23 +209,61 @@ int Main(int argc, char** argv) {
     if (agent_ladder.empty()) agent_ladder = {args.max_threads};
   }
 
-  // ---- Section 1: raw log append, latched vs reserve -----------------------
+  // ---- Section 1: raw log append, latched vs reserve vs batched ------------
+  // 96-byte payloads (the historical rows) and 16-byte "tiny" payloads,
+  // where the 32-byte header + per-record seal dominate and the batched
+  // path's kBatchSeal envelopes amortize the checksum across whole runs.
   const double append_window = args.quick ? 0.2 : 1.0;
+  constexpr uint32_t kBatchedRecords = 32;
   std::printf("== raw log append throughput (records/s) ==\n");
-  TablePrinter log_table({"mode", "threads", "appends/s", "MB/s",
-                          "resv_retries"});
+  TablePrinter log_table({"mode", "threads", "payload", "appends/s", "MB/s",
+                          "resv_retries", "rec/batch"});
   std::vector<LogAppendSample> log_samples;
-  for (const auto mode : {LogOptions::AppendMode::kLatched,
-                          LogOptions::AppendMode::kReserve}) {
-    for (int threads : agent_ladder) {
-      const LogAppendSample s = RunLogAppend(mode, threads, append_window);
-      log_samples.push_back(s);
-      log_table.Row({s.mode, Fmt("%d", s.threads),
-                     Fmt("%.0f", s.appends_per_s), Fmt("%.1f", s.mb_per_s),
-                     Fmt("%llu",
-                         static_cast<unsigned long long>(s.resv_retries))});
-    }
+  const auto add_log_row = [&](const LogAppendSample& s) {
+    log_samples.push_back(s);
+    log_table.Row({s.mode, Fmt("%d", s.threads), Fmt("%u", s.payload_bytes),
+                   Fmt("%.0f", s.appends_per_s), Fmt("%.1f", s.mb_per_s),
+                   Fmt("%llu",
+                       static_cast<unsigned long long>(s.resv_retries)),
+                   Fmt("%.1f", s.records_per_batch)});
+  };
+  for (int threads : agent_ladder) {
+    add_log_row(RunLogAppend("latched", LogOptions::AppendMode::kLatched,
+                             threads, append_window, 96));
   }
+  for (int threads : agent_ladder) {
+    add_log_row(RunLogAppend("reserve", LogOptions::AppendMode::kReserve,
+                             threads, append_window, 96));
+  }
+  for (int threads : agent_ladder) {
+    add_log_row(RunLogAppend("batched", LogOptions::AppendMode::kReserve,
+                             threads, append_window, 96, kBatchedRecords));
+  }
+  for (int threads : agent_ladder) {
+    add_log_row(RunLogAppend("reserve_tiny", LogOptions::AppendMode::kReserve,
+                             threads, append_window, 16));
+  }
+  for (int threads : agent_ladder) {
+    add_log_row(RunLogAppend("batched_tiny", LogOptions::AppendMode::kReserve,
+                             threads, append_window, 16, kBatchedRecords));
+  }
+  const auto best_of = [&](const char* mode) {
+    double best = 0;
+    for (const LogAppendSample& s : log_samples) {
+      if (std::strcmp(s.mode, mode) == 0) {
+        best = std::max(best, s.appends_per_s);
+      }
+    }
+    return best;
+  };
+  std::printf("# raw append peak (96 B): batched/per-record = %.2fx "
+              "(%.0f vs %.0f appends/s)\n",
+              best_of("batched") / best_of("reserve"), best_of("batched"),
+              best_of("reserve"));
+  std::printf("# raw append peak (16 B tiny): batched/per-record = %.2fx "
+              "(%.0f vs %.0f appends/s)\n",
+              best_of("batched_tiny") / best_of("reserve_tiny"),
+              best_of("batched_tiny"), best_of("reserve_tiny"));
 
   // ---- Section 2: commit pipeline, legacy vs decentralized -----------------
   std::printf("\n== commit pipeline (%llu us log device, SLI on) ==\n",
@@ -279,9 +355,12 @@ int Main(int argc, char** argv) {
     json.BeginObject();
     json.Key("mode").Value(s.mode);
     json.Key("threads").Value(s.threads);
+    json.Key("payload_bytes").Value(static_cast<uint64_t>(s.payload_bytes));
     json.Key("appends_per_s").Value(s.appends_per_s);
     json.Key("mb_per_s").Value(s.mb_per_s);
     json.Key("resv_retries").Value(s.resv_retries);
+    json.Key("batch_appends").Value(s.batch_appends);
+    json.Key("records_per_batch").Value(s.records_per_batch);
     json.EndObject();
   }
   json.EndArray();

@@ -12,7 +12,9 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
   if (!options_.log_path.empty() && !options_.log.flush_sink) {
     std::unique_ptr<FileLogDevice> device;
     const Status st = FileLogDevice::Open(
-        options_.log_path, options_.log_sync_each_flush, &device);
+        options_.log_path,
+        options_.log_sync_each_flush ? options_.log.fsync_every_n_flushes : 0,
+        &device);
     if (!st.ok()) {
       // Fail-stop: the caller configured a durable log; silently running
       // sink-less would ack commits that exist nowhere but RAM.

@@ -38,8 +38,9 @@ struct DatabaseOptions {
   /// crash. Ignored if log.flush_sink is already set (tests install
   /// capture/crash sinks there).
   std::string log_path;
-  /// fsync the log file on every flush (the durability contract across
-  /// host crashes). Off trades that for bench throughput.
+  /// fsync the log file (the durability contract across host crashes); the
+  /// cadence is LogOptions::fsync_every_n_flushes (default every flush).
+  /// Off disables fsync entirely, trading durability for bench throughput.
   bool log_sync_each_flush = true;
 };
 

@@ -52,7 +52,8 @@ bool InMemoryLogDevice::crashed() const {
 
 // ---- FileLogDevice ----------------------------------------------------------
 
-Status FileLogDevice::Open(const std::string& path, bool sync_each_flush,
+Status FileLogDevice::Open(const std::string& path,
+                           uint32_t fsync_every_n_flushes,
                            std::unique_ptr<FileLogDevice>* out) {
   const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY, 0644);
   if (fd < 0) return Status::IoError("open log file: " + path);
@@ -66,12 +67,17 @@ Status FileLogDevice::Open(const std::string& path, bool sync_each_flush,
     (void)::fsync(dir_fd);
     ::close(dir_fd);
   }
-  out->reset(new FileLogDevice(fd, path, sync_each_flush));
+  out->reset(new FileLogDevice(fd, path, fsync_every_n_flushes));
   return Status::OK();
 }
 
 FileLogDevice::~FileLogDevice() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    // Coalesced-fsync mode may hold an unsynced tail; a clean shutdown
+    // must not be weaker than the per-flush contract.
+    if (fsync_every_n_ != 0 && flushes_since_sync_ > 0) (void)::fsync(fd_);
+    ::close(fd_);
+  }
 }
 
 Status FileLogDevice::Append(const uint8_t* data, size_t len, Lsn lsn) {
@@ -91,8 +97,9 @@ Status FileLogDevice::Append(const uint8_t* data, size_t len, Lsn lsn) {
     }
     done += static_cast<size_t>(n);
   }
-  if (sync_each_flush_ && ::fsync(fd_) != 0) {
-    return Status::IoError("fsync log file");
+  if (fsync_every_n_ != 0 && ++flushes_since_sync_ >= fsync_every_n_) {
+    if (::fsync(fd_) != 0) return Status::IoError("fsync log file");
+    flushes_since_sync_ = 0;
   }
   written_.store(std::max(written_.load(std::memory_order_relaxed),
                           static_cast<uint64_t>(lsn + len)),

@@ -72,6 +72,11 @@ class InMemoryLogDevice : public LogDevice {
 /// Append-only file device. Writes land at their LSN offset (the file is
 /// the log stream, byte for byte), fsync'd per flush by default so the
 /// durability contract holds across a host crash, not just a process exit.
+/// `fsync_every_n_flushes` coalesces that cost: 1 = every flush (default
+/// contract), N = every Nth (bytes between syncs survive a process crash
+/// via the page cache but not a host crash — a measured trade-off, see
+/// LogOptions::fsync_every_n_flushes), 0 = never. Any unsynced tail is
+/// still fsync'd on clean shutdown (destructor).
 ///
 /// Truncation is deferred to the FIRST append: opening the device does not
 /// destroy an existing log at `path`, so the natural restart-in-place flow
@@ -85,7 +90,7 @@ class InMemoryLogDevice : public LogDevice {
 class FileLogDevice : public LogDevice {
  public:
   /// Opens (creates if absent) `path` without truncating; see class note.
-  static Status Open(const std::string& path, bool sync_each_flush,
+  static Status Open(const std::string& path, uint32_t fsync_every_n_flushes,
                      std::unique_ptr<FileLogDevice>* out);
   ~FileLogDevice() override;
 
@@ -100,12 +105,15 @@ class FileLogDevice : public LogDevice {
   static Status ReadFile(const std::string& path, std::vector<uint8_t>* out);
 
  private:
-  FileLogDevice(int fd, std::string path, bool sync_each_flush)
-      : fd_(fd), path_(std::move(path)), sync_each_flush_(sync_each_flush) {}
+  FileLogDevice(int fd, std::string path, uint32_t fsync_every_n_flushes)
+      : fd_(fd),
+        path_(std::move(path)),
+        fsync_every_n_(fsync_every_n_flushes) {}
 
   int fd_;
   std::string path_;
-  bool sync_each_flush_;
+  uint32_t fsync_every_n_;            ///< 0 = never, 1 = every flush
+  uint32_t flushes_since_sync_ = 0;   ///< flusher-thread only
   bool truncated_ = false;  ///< flusher-thread only (single writer)
   std::atomic<uint64_t> written_{0};  ///< advanced by the flusher thread
 };

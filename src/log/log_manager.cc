@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "src/stats/counters.h"
 #include "src/stats/profiler.h"
+#include "src/util/crc32c.h"
 #include "src/util/time_util.h"
 
 namespace slidb {
@@ -49,6 +52,19 @@ void LogManager::CopyIntoRing(Lsn at, const void* src, size_t len) {
     std::memcpy(ring_.get(), static_cast<const uint8_t*>(src) + first,
                 len - first);
   }
+}
+
+uint32_t LogManager::CopyIntoRingCrc(Lsn at, const void* src, size_t len,
+                                     uint32_t crc) {
+  const size_t cap = options_.buffer_bytes;
+  const size_t pos = static_cast<size_t>(at % cap);
+  const size_t first = std::min(len, cap - pos);
+  crc = Crc32cCopy(crc, ring_.get() + pos, src, first);
+  if (first < len) {
+    crc = Crc32cCopy(crc, ring_.get(),
+                     static_cast<const uint8_t*>(src) + first, len - first);
+  }
+  return crc;
 }
 
 void LogManager::BackpressurePause() {
@@ -154,6 +170,200 @@ Lsn LogManager::AppendLatched(uint64_t txn_id, LogRecordType type,
   watermark_.store(start + total, std::memory_order_release);
   append_latch_.Release();
   return start + total;
+}
+
+void LogManager::PlanBatchSegments(LogStagingBuffer* staging) const {
+  std::vector<LogBatchSegment>& segs = staging->seg_scratch_;
+  segs.clear();
+  const uint32_t small_bound = options_.batch_seal_max_record_bytes;
+  // Bound one envelope's interior: a single CRC never covers more than the
+  // format cap, and an envelope always fits comfortably inside one ring
+  // reservation even on the tiny rings the tests configure.
+  const uint32_t run_cap = static_cast<uint32_t>(std::min<size_t>(
+      kMaxEnvelopePayloadLen, options_.buffer_bytes / 4));
+  const size_t n = staging->offsets_.size();
+  const auto rec_len = [&](size_t i) -> uint32_t {
+    const uint32_t end = i + 1 < n
+                             ? staging->offsets_[i + 1]
+                             : static_cast<uint32_t>(staging->buf_.size());
+    return end - staging->offsets_[i];
+  };
+  size_t i = 0;
+  while (i < n) {
+    const uint32_t len = rec_len(i);
+    // Extend a run of consecutive small records; a run of >= 2 is worth an
+    // envelope (one CRC instead of count), a singleton is not (the 32-byte
+    // envelope header would outweigh the saved seal).
+    size_t j = i;
+    uint32_t run_bytes = 0;
+    if (small_bound > 0) {
+      while (j < n) {
+        const uint32_t lj = rec_len(j);
+        if (lj > small_bound || run_bytes + lj > run_cap) break;
+        run_bytes += lj;
+        ++j;
+      }
+    }
+    if (j - i >= 2) {
+      segs.push_back({static_cast<uint32_t>(j - i), staging->offsets_[i],
+                      run_bytes, /*envelope=*/true});
+      i = j;
+    } else {
+      segs.push_back({1, staging->offsets_[i], len, /*envelope=*/false});
+      ++i;
+    }
+  }
+}
+
+size_t LogManager::SealSegmentIntoRing(LogStagingBuffer* staging,
+                                       const LogBatchSegment& seg, Lsn at) {
+  // Staged record offsets are unaligned (records pack back to back), so
+  // header fields are patched with memcpy, never through a cast.
+  uint8_t* base = staging->buf_.data() + seg.stage_off;
+  if (!seg.envelope) {
+    const Lsn lsn = at;
+    std::memcpy(base + offsetof(LogRecordHeader, lsn), &lsn, sizeof(lsn));
+    // Fold the seal into the copy: checksum the header tail in place, then
+    // copy the payload into the ring while extending the same CRC.
+    uint32_t c = Crc32c(0, base + kLogCrcSkip,
+                        sizeof(LogRecordHeader) - kLogCrcSkip);
+    const size_t payload_len = seg.stage_len - sizeof(LogRecordHeader);
+    c = CopyIntoRingCrc(at + sizeof(LogRecordHeader),
+                        base + sizeof(LogRecordHeader), payload_len, c);
+    std::memcpy(base, &c, sizeof(c));  // hdr.crc
+    CopyIntoRing(at, base, sizeof(LogRecordHeader));
+    return seg.stage_len;
+  }
+
+  // Envelope: patch every interior record's lsn to its real stream offset
+  // (their crc fields stay zero — the envelope CRC seals the whole run),
+  // then copy the run into the ring under the envelope's single checksum.
+  const Lsn interior_base = at + sizeof(LogRecordHeader);
+  size_t rel = 0;
+  while (rel < seg.stage_len) {
+    const Lsn lsn = interior_base + rel;
+    std::memcpy(base + rel + offsetof(LogRecordHeader, lsn), &lsn,
+                sizeof(lsn));
+    uint32_t plen;
+    std::memcpy(&plen, base + rel + offsetof(LogRecordHeader, payload_len),
+                sizeof(plen));
+    rel += sizeof(LogRecordHeader) + plen;
+  }
+  LogRecordHeader env{};
+  env.payload_len = seg.stage_len;
+  std::memcpy(&env.txn_id, base + offsetof(LogRecordHeader, txn_id),
+              sizeof(env.txn_id));
+  env.lsn = at;
+  env.type = static_cast<uint8_t>(LogRecordType::kBatchSeal);
+  env.version = kLogFormatVersion;
+  uint32_t c = Crc32c(0, reinterpret_cast<const uint8_t*>(&env) + kLogCrcSkip,
+                      sizeof(env) - kLogCrcSkip);
+  c = CopyIntoRingCrc(interior_base, base, seg.stage_len, c);
+  env.crc = c;
+  CopyIntoRing(at, &env, sizeof(env));
+  return sizeof(env) + seg.stage_len;
+}
+
+Lsn LogManager::PublishChunkReserve(LogStagingBuffer* staging,
+                                    const LogBatchSegment* segs, size_t n,
+                                    size_t total) {
+  // Identical protocol to AppendReserve, with the whole chunk riding one
+  // ticket and one publish slot — the amortization this path exists for.
+  const uint64_t ticket = ticket_.fetch_add(
+      (uint64_t{1} << kSeqShift) + total, std::memory_order_relaxed);
+  const Lsn start = ticket & kOffsetMask;
+  const uint64_t seq = ticket >> kSeqShift;
+  const Lsn end = start + total;
+  const size_t cap = options_.buffer_bytes;
+
+  while (end - durable_lsn_.load(std::memory_order_acquire) > cap) {
+    BackpressurePause();
+  }
+  PublishSlot& slot = slots_[seq & slot_mask_];
+  while (slot.tag.load(std::memory_order_acquire) != (seq & kSeqMask)) {
+    if (!TryAdvanceWatermark()) BackpressurePause();
+  }
+
+  Lsn cursor = start;
+  uint64_t recs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cursor += SealSegmentIntoRing(staging, segs[i], cursor);
+    recs += segs[i].count;
+  }
+  assert(cursor == end);
+  records_.fetch_add(recs, std::memory_order_relaxed);
+  slot.end = end;
+  slot.tag.store((seq + 1) & kSeqMask, std::memory_order_release);
+  return end;
+}
+
+Lsn LogManager::PublishChunkLatched(LogStagingBuffer* staging,
+                                    const LogBatchSegment* segs, size_t n,
+                                    size_t total) {
+  const size_t cap = options_.buffer_bytes;
+  append_latch_.Acquire();
+  while (watermark_.load(std::memory_order_relaxed) + total -
+             durable_lsn_.load(std::memory_order_acquire) >
+         cap) {
+    append_latch_.Release();
+    BackpressurePause();
+    append_latch_.Acquire();
+  }
+  const Lsn start = watermark_.load(std::memory_order_relaxed);
+  Lsn cursor = start;
+  uint64_t recs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cursor += SealSegmentIntoRing(staging, segs[i], cursor);
+    recs += segs[i].count;
+  }
+  assert(cursor == start + total);
+  records_.fetch_add(recs, std::memory_order_relaxed);
+  watermark_.store(start + total, std::memory_order_release);
+  append_latch_.Release();
+  return start + total;
+}
+
+Lsn LogManager::AppendBatch(LogStagingBuffer* staging) {
+  ScopedComponent comp(Component::kLog);
+  if (staging->empty()) return appended_lsn();
+  PlanBatchSegments(staging);
+  const std::vector<LogBatchSegment>& segs = staging->seg_scratch_;
+  const size_t cap = options_.buffer_bytes;
+  // A reservation can never exceed the ring (its bytes would have to
+  // overwrite data that cannot become durable first — a self-deadlock), so
+  // oversized batches split at segment granularity. Half the ring per
+  // chunk keeps the flusher pipelined behind very large batches; in the
+  // intended regime (staging watermark << ring) a batch is one chunk.
+  const size_t chunk_limit = std::max<size_t>(cap / 2, 1);
+  const bool latched = options_.append_mode == LogOptions::AppendMode::kLatched;
+  Lsn end = 0;
+  size_t i = 0;
+  uint64_t batch_records = 0;
+  uint64_t batch_bytes = 0;
+  while (i < segs.size()) {
+    size_t total = segs[i].wire_bytes();
+    if (total > cap) {
+      std::fprintf(stderr,
+                   "slidb: batched log record (%zu B) exceeds ring (%zu B)\n",
+                   total, cap);
+      std::abort();
+    }
+    size_t j = i + 1;
+    while (j < segs.size() && total + segs[j].wire_bytes() <= chunk_limit) {
+      total += segs[j].wire_bytes();
+      ++j;
+    }
+    end = latched ? PublishChunkLatched(staging, segs.data() + i, j - i, total)
+                  : PublishChunkReserve(staging, segs.data() + i, j - i, total);
+    CountEvent(Counter::kLogBatchAppends);
+    for (size_t k = i; k < j; ++k) batch_records += segs[k].count;
+    batch_bytes += total;
+    i = j;
+  }
+  CountEvent(Counter::kLogBatchRecords, batch_records);
+  CountEvent(Counter::kLogBatchBytes, batch_bytes);
+  staging->Clear();
+  return end;
 }
 
 void LogManager::WaitDurable(Lsn lsn) {

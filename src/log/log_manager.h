@@ -30,6 +30,7 @@
 #include <thread>
 
 #include "src/log/log_record.h"
+#include "src/log/log_staging.h"
 #include "src/util/cacheline.h"
 #include "src/util/latch.h"
 #include "src/util/status.h"
@@ -70,6 +71,22 @@ struct LogOptions {
   };
   WaiterPolicy waiter_policy = WaiterPolicy::kConsolidated;
 
+  /// AppendBatch wraps runs of >= 2 consecutive records whose wire size
+  /// (header + payload) is at most this bound in a kBatchSeal envelope:
+  /// one CRC seals the whole run instead of one per record. 0 disables
+  /// envelopes (every batched record is sealed individually).
+  uint32_t batch_seal_max_record_bytes = kBatchSealMaxRecordBytes;
+
+  /// fsync cadence for a FileLogDevice attached via DatabaseOptions:
+  /// 1 = every flush (default, the strict host-crash durability contract),
+  /// N = every Nth flush (coalesced fsync — bytes between syncs survive a
+  /// process crash via the page cache but not a host crash; the knob
+  /// exists to measure that cost on a real disk), 0 = never fsync (same
+  /// effect as DatabaseOptions::log_sync_each_flush = false — page-cache
+  /// durability only). For N >= 1 the device still syncs any unsynced
+  /// tail on clean shutdown.
+  uint32_t fsync_every_n_flushes = 1;
+
   /// Device-write hook: the flusher calls it for each contiguous byte range
   /// as the range becomes durable (ring wrap may split one flush into two
   /// calls; `start_lsn` is the log offset of `data[0]`). Tests use it to
@@ -100,6 +117,17 @@ class LogManager {
   /// publish-slot backpressure) until the flusher frees space.
   Lsn Append(uint64_t txn_id, LogRecordType type, const void* payload,
              uint32_t payload_len);
+
+  /// Publish every record staged in `staging` and drain it; returns the
+  /// batch's end LSN (the end of its last record). The whole batch costs
+  /// ONE ticket fetch-add and one publish-slot handoff (it may split into
+  /// a few reservations only when it exceeds half the ring), with each
+  /// record's seal — lsn patch + CRC — folded into the ring copy loop.
+  /// Runs of small records are wrapped in kBatchSeal envelopes (see
+  /// LogOptions::batch_seal_max_record_bytes). Record order within the
+  /// batch is preserved; an empty staging buffer publishes nothing and
+  /// returns appended_lsn().
+  Lsn AppendBatch(LogStagingBuffer* staging);
 
   /// Block until everything up to `lsn` is durable (group commit).
   void WaitDurable(Lsn lsn);
@@ -159,7 +187,23 @@ class LogManager {
                     uint32_t payload_len);
   Lsn AppendLatched(uint64_t txn_id, LogRecordType type, const void* payload,
                     uint32_t payload_len);
+  /// Split the staged records into plain/envelope segments (no copying;
+  /// fills the staging buffer's reusable scratch).
+  void PlanBatchSegments(LogStagingBuffer* staging) const;
+  /// Seal `seg` at ring offset `at`: patch interior lsns, fold the CRC into
+  /// the ring copy, and write the sealed header(s). Returns wire bytes.
+  size_t SealSegmentIntoRing(LogStagingBuffer* staging,
+                             const LogBatchSegment& seg, Lsn at);
+  /// Publish one reservation's worth of segments (reserve / latched path).
+  Lsn PublishChunkReserve(LogStagingBuffer* staging,
+                          const LogBatchSegment* segs, size_t n,
+                          size_t total);
+  Lsn PublishChunkLatched(LogStagingBuffer* staging,
+                          const LogBatchSegment* segs, size_t n,
+                          size_t total);
   void CopyIntoRing(Lsn at, const void* src, size_t len);
+  /// CopyIntoRing fused with a CRC32C extension over the copied bytes.
+  uint32_t CopyIntoRingCrc(Lsn at, const void* src, size_t len, uint32_t crc);
   /// One backpressure pause: kick the flusher, yield, charge blocked time.
   void BackpressurePause();
 

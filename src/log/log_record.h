@@ -51,6 +51,8 @@ enum class LogRecordType : uint8_t {
   kBegin,        ///< transaction begin (no payload)
   kIndexInsert,  ///< index entry add (IndexRedoPayload)
   kIndexRemove,  ///< index entry remove (IndexRedoPayload)
+  kBatchSeal,    ///< envelope: payload is a run of small records sealed
+                 ///< under this record's single CRC (see ForEachEnvelopeRecord)
 };
 
 inline const char* LogRecordTypeName(LogRecordType t) {
@@ -63,6 +65,7 @@ inline const char* LogRecordTypeName(LogRecordType t) {
     case LogRecordType::kBegin: return "begin";
     case LogRecordType::kIndexInsert: return "index_insert";
     case LogRecordType::kIndexRemove: return "index_remove";
+    case LogRecordType::kBatchSeal: return "batch_seal";
   }
   return "?";
 }
@@ -144,6 +147,7 @@ enum class LogScanStatus : uint8_t {
   kBadLsn,       ///< header's lsn does not match its stream offset
   kBadVersion,   ///< unknown format version
   kBadCrc,       ///< checksum mismatch (bit flip or partial overwrite)
+  kBadEnvelope,  ///< kBatchSeal CRC validated but its interior is malformed
 };
 
 inline const char* LogScanStatusName(LogScanStatus s) {
@@ -156,6 +160,7 @@ inline const char* LogScanStatusName(LogScanStatus s) {
     case LogScanStatus::kBadLsn: return "bad_lsn";
     case LogScanStatus::kBadVersion: return "bad_version";
     case LogScanStatus::kBadCrc: return "bad_crc";
+    case LogScanStatus::kBadEnvelope: return "bad_envelope";
   }
   return "?";
 }
@@ -194,6 +199,61 @@ inline LogScanStatus DecodeLogRecord(const uint8_t* stream, size_t size,
   }
   *payload = body;
   return LogScanStatus::kOk;
+}
+
+// ---- batch-seal envelopes ---------------------------------------------------
+// A kBatchSeal record's payload is a back-to-back run of ≥ 1 small interior
+// records in the ordinary wire format, except that interior `crc` fields
+// are ZERO: the envelope's single CRC covers the whole run, amortizing the
+// per-record seal over the batch. Interior `lsn` fields are real stream
+// offsets (envelope start + 32 + relative position), so interior records
+// stay self-describing and relocation is still detectable — the envelope
+// CRC covers them. Envelopes never nest.
+//
+// Torn-write rule: the envelope is atomic. A crash that cuts the stream
+// anywhere inside it fails the envelope's own payload/CRC check, so the
+// whole envelope (all interior records) is discarded — there is no state
+// in which a prefix of the run validates.
+
+/// Writers only wrap records at or below this wire size (header+payload)
+/// in an envelope: the seal amortization only matters when the 32-byte
+/// header dominates, and big records keep their own checksum so a scan
+/// failure localizes.
+inline constexpr uint32_t kBatchSealMaxRecordBytes = 64;
+
+/// Bound on one envelope's interior byte run: caps what a single CRC
+/// covers (and what one torn envelope can discard).
+inline constexpr uint32_t kMaxEnvelopePayloadLen = 1u << 16;
+
+static_assert(kMaxEnvelopePayloadLen <= kMaxLogPayloadLen);
+
+/// Walk the interior of a validated kBatchSeal envelope. `interior` is the
+/// envelope's payload (`len` bytes), whose first byte sits at stream offset
+/// `base_lsn`. Calls `fn(const LogRecordHeader&, const uint8_t* payload)`
+/// per interior record. Returns false if the interior is malformed (bad
+/// structure, wrong self-LSN, nested envelope, or an empty run) — callers
+/// must then treat the WHOLE envelope as corrupt, per the torn-write rule.
+/// Interior CRCs are zero by construction and are not checked: the caller
+/// already verified the envelope CRC that covers every interior byte.
+template <typename Fn>
+inline bool ForEachEnvelopeRecord(const uint8_t* interior, uint32_t len,
+                                  Lsn base_lsn, Fn&& fn) {
+  if (len == 0) return false;  // writers never emit an empty envelope
+  size_t pos = 0;
+  LogRecordHeader hdr;
+  const uint8_t* payload = nullptr;
+  while (pos < len) {
+    if (DecodeLogRecord(interior, len, pos, base_lsn, &hdr, &payload,
+                        /*verify_crc=*/false) != LogScanStatus::kOk) {
+      return false;
+    }
+    if (hdr.type == static_cast<uint8_t>(LogRecordType::kBatchSeal)) {
+      return false;  // no nesting
+    }
+    fn(static_cast<const LogRecordHeader&>(hdr), payload);
+    pos += sizeof(LogRecordHeader) + hdr.payload_len;
+  }
+  return true;  // the run ends exactly at the envelope boundary
 }
 
 }  // namespace slidb

@@ -1,0 +1,87 @@
+// Transaction-private log staging: records accumulate here in wire format
+// (headers unsealed — lsn and crc zero) instead of paying a ring
+// reservation each. LogManager::AppendBatch publishes the whole buffer
+// under ONE reservation fetch-add and one publish-slot handoff, sealing
+// every record (lsn patch + CRC) inside the ring copy loop and wrapping
+// runs of small records in kBatchSeal envelopes (log_record.h).
+//
+// Single-owner: a staging buffer belongs to one transaction/thread at a
+// time; no synchronization. AppendBatch drains it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/log/log_record.h"
+
+namespace slidb {
+
+/// One publish unit of a staged batch: either a single individually-sealed
+/// record or a kBatchSeal envelope covering `count` staged records whose
+/// bytes span [stage_off, stage_off + stage_len) of the staging buffer.
+struct LogBatchSegment {
+  uint32_t count;
+  uint32_t stage_off;
+  uint32_t stage_len;
+  bool envelope;
+
+  uint32_t wire_bytes() const {
+    return stage_len +
+           (envelope ? static_cast<uint32_t>(sizeof(LogRecordHeader)) : 0);
+  }
+};
+
+class LogStagingBuffer {
+ public:
+  /// Append one record to the staged batch. The header is written with
+  /// lsn = 0 and crc = 0; both are filled in at publish time, once the
+  /// batch's ring reservation fixes the records' offsets.
+  void Stage(uint64_t txn_id, LogRecordType type, const void* payload,
+             uint32_t payload_len) {
+    // Same hard check as LogManager::Append: a record the recovery scanner
+    // rejects as kBadLength must never be staged, sealed, and acked.
+    if (payload_len > kMaxLogPayloadLen) {
+      std::fprintf(stderr,
+                   "slidb: staged log payload %u exceeds scanner bound %u\n",
+                   payload_len, kMaxLogPayloadLen);
+      std::abort();
+    }
+    offsets_.push_back(static_cast<uint32_t>(buf_.size()));
+    LogRecordHeader hdr{};
+    hdr.payload_len = payload_len;
+    hdr.txn_id = txn_id;
+    hdr.type = static_cast<uint8_t>(type);
+    hdr.version = kLogFormatVersion;
+    const auto* h = reinterpret_cast<const uint8_t*>(&hdr);
+    buf_.insert(buf_.end(), h, h + sizeof(hdr));
+    if (payload_len > 0) {
+      const auto* p = static_cast<const uint8_t*>(payload);
+      buf_.insert(buf_.end(), p, p + payload_len);
+    }
+  }
+
+  size_t bytes() const { return buf_.size(); }
+  size_t records() const { return offsets_.size(); }
+  bool empty() const { return offsets_.empty(); }
+
+  /// Drop all staged records (abort-before-publish; also how AppendBatch
+  /// resets the buffer after publishing). Keeps capacity for reuse.
+  void Clear() {
+    buf_.clear();
+    offsets_.clear();
+  }
+
+ private:
+  friend class LogManager;  // AppendBatch seals/patches records in place
+
+  std::vector<uint8_t> buf_;       ///< staged records, wire format, unsealed
+  std::vector<uint32_t> offsets_;  ///< start offset of each record in buf_
+  /// Publish-plan scratch, reused across batches so AppendBatch never
+  /// allocates on the commit path (single owner, like the buffer itself).
+  std::vector<LogBatchSegment> seg_scratch_;
+};
+
+}  // namespace slidb

@@ -24,6 +24,22 @@ RecoveryManager::RecoveryManager(const uint8_t* data, size_t size,
   report_.valid_prefix_end = base_lsn;
 }
 
+void RecoveryManager::NoteScanned(const LogRecordHeader& hdr) {
+  report_.records_scanned++;
+  report_.max_txn_id = std::max(report_.max_txn_id, hdr.txn_id);
+  seen_.insert(hdr.txn_id);
+  switch (static_cast<LogRecordType>(hdr.type)) {
+    case LogRecordType::kCommit:
+      committed_.insert(hdr.txn_id);
+      break;
+    case LogRecordType::kAbort:
+      report_.aborted_txns++;
+      break;
+    default:
+      break;
+  }
+}
+
 const RecoveryReport& RecoveryManager::Scan() {
   if (scanned_) return report_;
   scanned_ = true;
@@ -33,33 +49,45 @@ const RecoveryReport& RecoveryManager::Scan() {
   LogRecordHeader hdr;
   const uint8_t* payload = nullptr;
   for (;;) {
-    const LogScanStatus st =
+    LogScanStatus st =
         DecodeLogRecord(data_, size_, pos, base_lsn_, &hdr, &payload);
+    if (st == LogScanStatus::kOk &&
+        hdr.type == static_cast<uint8_t>(LogRecordType::kBatchSeal)) {
+      // Validate the envelope (its CRC just passed, covering every interior
+      // byte), then trust the interior: per-record CRCs are zero and are
+      // not re-checked, but interior structure and self-LSNs must hold. A
+      // malformed interior behind a valid CRC is a writer bug or a crafted
+      // stream — treat it exactly like a torn record at the envelope.
+      // Validate the whole run BEFORE noting any interior record, so a bad
+      // envelope contributes nothing to the committed set.
+      const Lsn interior_base = hdr.lsn + sizeof(LogRecordHeader);
+      if (ForEachEnvelopeRecord(payload, hdr.payload_len, interior_base,
+                                [](const LogRecordHeader&, const uint8_t*) {
+                                })) {
+        (void)ForEachEnvelopeRecord(
+            payload, hdr.payload_len, interior_base,
+            [&](const LogRecordHeader& inner, const uint8_t*) {
+              NoteScanned(inner);
+            });
+      } else {
+        st = LogScanStatus::kBadEnvelope;
+      }
+    } else if (st == LogScanStatus::kOk) {
+      NoteScanned(hdr);
+    }
     if (st != LogScanStatus::kOk) {
       report_.tail_status = st;
       if (st != LogScanStatus::kEndOfStream) {
         // Torn-write rule: the stream is trusted only up to here. Count the
         // corrupt tail — the sweep tests assert this fires exactly when a
-        // crash lands inside a record.
+        // crash lands inside a record. A cut inside an envelope discards
+        // the whole envelope (its CRC cannot validate on a prefix).
         report_.torn_tail = true;
         report_.tail_bytes_discarded = size_ - pos;
         CountEvent(Counter::kLogChecksumFail);
         CountEvent(Counter::kRecoveryTornTails);
       }
       break;
-    }
-    report_.records_scanned++;
-    report_.max_txn_id = std::max(report_.max_txn_id, hdr.txn_id);
-    seen_.insert(hdr.txn_id);
-    switch (static_cast<LogRecordType>(hdr.type)) {
-      case LogRecordType::kCommit:
-        committed_.insert(hdr.txn_id);
-        break;
-      case LogRecordType::kAbort:
-        report_.aborted_txns++;
-        break;
-      default:
-        break;
     }
     pos += sizeof(LogRecordHeader) + hdr.payload_len;
     report_.valid_prefix_end = base_lsn_ + pos;
@@ -121,6 +149,9 @@ Status RecoveryManager::ApplyRedo(Catalog* catalog,
     case LogRecordType::kCommit:
     case LogRecordType::kAbort:
       return Status::OK();
+    case LogRecordType::kBatchSeal:
+      // WalkValidPrefix hands callers interior records, never the envelope.
+      return Status::Corruption("batch-seal envelope reached redo");
   }
   return Status::Corruption("unknown record type survived scan");
 }
@@ -149,7 +180,22 @@ Status RecoveryManager::WalkValidPrefix(
                         /*verify_crc=*/false) != LogScanStatus::kOk) {
       return Status::Corruption("validated prefix failed to re-decode");
     }
-    SLIDB_RETURN_NOT_OK(fn(hdr, payload));
+    if (hdr.type == static_cast<uint8_t>(LogRecordType::kBatchSeal)) {
+      // Descend: callers see interior records in log order, exactly as if
+      // they had been appended individually.
+      Status st = Status::OK();
+      const bool ok = ForEachEnvelopeRecord(
+          payload, hdr.payload_len, hdr.lsn + sizeof(LogRecordHeader),
+          [&](const LogRecordHeader& inner, const uint8_t* inner_payload) {
+            if (st.ok()) st = fn(inner, inner_payload);
+          });
+      if (!ok) {
+        return Status::Corruption("validated envelope failed to re-decode");
+      }
+      SLIDB_RETURN_NOT_OK(st);
+    } else {
+      SLIDB_RETURN_NOT_OK(fn(hdr, payload));
+    }
     pos += sizeof(LogRecordHeader) + hdr.payload_len;
   }
   return Status::OK();

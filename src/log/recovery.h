@@ -98,6 +98,10 @@ class RecoveryManager {
   Status ApplyRedo(Catalog* catalog, const LogRecordHeader& hdr,
                    const uint8_t* payload);
 
+  /// Fold one scanned record (top-level or envelope-interior) into the
+  /// committed/seen bookkeeping.
+  void NoteScanned(const LogRecordHeader& hdr);
+
   /// Walk the Scan-validated prefix (structural decode only, no CRC),
   /// calling `fn` per record; stops early when `fn` returns !ok. Replay
   /// and the snapshot re-log both ride this walker so they can never

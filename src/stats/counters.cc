@@ -39,6 +39,9 @@ const char* CounterName(Counter c) {
     case Counter::kLogResvRetries: return "log.resv_retries";
     case Counter::kGroupCommitWaitersWoken: return "log.gc_waiters_woken";
     case Counter::kLogChecksumFail: return "log.checksum_fail";
+    case Counter::kLogBatchAppends: return "log.batch_appends";
+    case Counter::kLogBatchRecords: return "log.batch_records";
+    case Counter::kLogBatchBytes: return "log.batch_bytes";
     case Counter::kRecoveryRecordsScanned: return "recovery.records_scanned";
     case Counter::kRecoveryRecordsReplayed: return "recovery.records_replayed";
     case Counter::kRecoveryRecordsSkipped: return "recovery.records_skipped";

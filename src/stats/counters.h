@@ -51,6 +51,11 @@ enum class Counter : uint32_t {
                             ///< consolidated group-commit queue
   kLogChecksumFail,         ///< records rejected on read-back (CRC mismatch
                             ///< or torn tail)
+  kLogBatchAppends,         ///< batch publications (one ring reservation
+                            ///< each; AppendBatch chunks count individually)
+  kLogBatchRecords,         ///< records published through batch appends
+  kLogBatchBytes,           ///< wire bytes published through batch appends
+                            ///< (envelope headers included)
 
   // -- crash recovery --
   kRecoveryRecordsScanned,  ///< valid records decoded from the durable log

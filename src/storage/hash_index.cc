@@ -2,55 +2,187 @@
 
 #include <bit>
 
+#include "src/util/epoch.h"
+
 namespace slidb {
+
+namespace {
+
+constexpr size_t kInitialBuckets = 16;
+/// Grow when live nodes exceed buckets * this factor (mean chain length).
+constexpr size_t kGrowLoadFactor = 2;
+
+/// Bounded backoff between optimistic restarts (same discipline as the
+/// B-tree read path: spin briefly, then yield under oversubscription).
+void RestartBackoff(int attempt) {
+  if (attempt < 8) {
+    for (int i = 0; i < (1 << attempt); ++i) latch_internal::CpuRelax();
+  } else {
+    latch_internal::OsYield();
+  }
+}
+
+}  // namespace
 
 HashIndex::HashIndex(size_t shards) {
   shards = std::bit_ceil(shards < 1 ? size_t{1} : shards);
   shards_ = std::make_unique<CacheAligned<Shard>[]>(shards);
   shard_mask_ = shards - 1;
+  for (size_t i = 0; i < shards; ++i) {
+    shards_[i]->table.store(new Table(kInitialBuckets),
+                            std::memory_order_relaxed);
+  }
+}
+
+HashIndex::~HashIndex() {
+  // Teardown is quiesced (no concurrent readers): free chains directly.
+  // Nodes and tables already handed to the epoch manager are owned by it
+  // and freed there.
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    Table* t = shards_[i]->table.load(std::memory_order_relaxed);
+    for (size_t b = 0; b <= t->mask; ++b) {
+      Node* n = t->slots[b].load(std::memory_order_relaxed);
+      while (n != nullptr) {
+        Node* next = n->next.load(std::memory_order_relaxed);
+        delete n;
+        n = next;
+      }
+    }
+    delete t;
+  }
+}
+
+void HashIndex::GrowLocked(Shard& s, Table* old_table) {
+  // Relink every node into a table twice the size. Concurrent optimistic
+  // readers may be traversing the old chains while we overwrite `next`
+  // pointers; every such traversal stays finite (nodes only ever move from
+  // an old chain to an already-built acyclic new chain) and is discarded by
+  // version validation when the write lock releases. The old table object
+  // is epoch-retired — a reader may still hold its bucket array.
+  Table* grown = new Table((old_table->mask + 1) * 2);
+  for (size_t b = 0; b <= old_table->mask; ++b) {
+    Node* n = old_table->slots[b].load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      std::atomic<Node*>& slot = grown->slots[BucketFor(Mix(n->key), grown)];
+      n->next.store(slot.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+      slot.store(n, std::memory_order_release);
+      n = next;
+    }
+  }
+  s.table.store(grown, std::memory_order_release);
+  EpochManager::Global().Retire(
+      old_table, [](void* p) { delete static_cast<Table*>(p); });
 }
 
 Status HashIndex::Insert(uint64_t key, uint64_t value) {
-  Shard& s = ShardFor(key);
-  SpinLatchGuard g(s.latch);
-  auto [lo, hi] = s.map.equal_range(key);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second == value) return Status::KeyExists();
+  const uint64_t h = Mix(key);
+  Shard& s = ShardFor(h);
+  bool restart = false;
+  s.latch.WriteLockOrRestart(&restart);  // shards are never obsolete
+  Table* t = s.table.load(std::memory_order_relaxed);
+  std::atomic<Node*>& slot = t->slots[BucketFor(h, t)];
+  for (Node* n = slot.load(std::memory_order_relaxed); n != nullptr;
+       n = n->next.load(std::memory_order_relaxed)) {
+    if (n->key == key && n->value == value) {
+      s.latch.WriteUnlock();
+      return Status::KeyExists();
+    }
   }
-  s.map.emplace(key, value);
+  Node* node = new Node{key, value};
+  node->next.store(slot.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  // Publish fully initialized: readers reach the node only through this
+  // release store (or a later one ordered after it).
+  slot.store(node, std::memory_order_release);
+  ++s.count;
   size_.fetch_add(1, std::memory_order_relaxed);
+  if (s.count > (t->mask + 1) * kGrowLoadFactor) GrowLocked(s, t);
+  s.latch.WriteUnlock();
   return Status::OK();
 }
 
 Status HashIndex::Remove(uint64_t key, uint64_t value) {
-  Shard& s = ShardFor(key);
-  SpinLatchGuard g(s.latch);
-  auto [lo, hi] = s.map.equal_range(key);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second == value) {
-      s.map.erase(it);
+  const uint64_t h = Mix(key);
+  Shard& s = ShardFor(h);
+  bool restart = false;
+  s.latch.WriteLockOrRestart(&restart);
+  Table* t = s.table.load(std::memory_order_relaxed);
+  std::atomic<Node*>* link = &t->slots[BucketFor(h, t)];
+  for (Node* n = link->load(std::memory_order_relaxed); n != nullptr;
+       n = link->load(std::memory_order_relaxed)) {
+    if (n->key == key && n->value == value) {
+      // Unlink; the node stays intact (readers inside it keep a valid
+      // `next`) and is freed only after its epoch grace period.
+      link->store(n->next.load(std::memory_order_relaxed),
+                  std::memory_order_release);
+      --s.count;
       size_.fetch_sub(1, std::memory_order_relaxed);
+      s.latch.WriteUnlock();
+      EpochManager::Global().Retire(
+          n, [](void* p) { delete static_cast<Node*>(p); });
       return Status::OK();
     }
+    link = &n->next;
   }
+  s.latch.WriteUnlock();
   return Status::NotFound();
 }
 
 Status HashIndex::Lookup(uint64_t key, uint64_t* value) const {
-  const Shard& s = ShardFor(key);
-  SpinLatchGuard g(s.latch);
-  auto it = s.map.find(key);
-  if (it == s.map.end()) return Status::NotFound();
-  *value = it->second;
-  return Status::OK();
+  const uint64_t h = Mix(key);
+  Shard& s = ShardFor(h);
+  EpochManager::Guard guard(EpochManager::Global());
+  for (int attempt = 0;; ++attempt) {
+    bool restart = false;
+    const uint64_t v = s.latch.ReadLockOrRestart(&restart);
+    bool found = false;
+    uint64_t out = 0;
+    if (!restart) {
+      const Table* t = s.table.load(std::memory_order_acquire);
+      const Node* n =
+          t->slots[BucketFor(h, t)].load(std::memory_order_acquire);
+      while (n != nullptr) {
+        if (n->key == key) {
+          found = true;
+          out = n->value;
+          break;
+        }
+        n = n->next.load(std::memory_order_acquire);
+      }
+      s.latch.CheckOrRestart(v, &restart);
+    }
+    if (!restart) {
+      if (!found) return Status::NotFound();
+      *value = out;
+      return Status::OK();
+    }
+    RestartBackoff(attempt);
+  }
 }
 
 void HashIndex::LookupAll(uint64_t key, std::vector<uint64_t>* values) const {
-  values->clear();
-  const Shard& s = ShardFor(key);
-  SpinLatchGuard g(s.latch);
-  auto [lo, hi] = s.map.equal_range(key);
-  for (auto it = lo; it != hi; ++it) values->push_back(it->second);
+  const uint64_t h = Mix(key);
+  Shard& s = ShardFor(h);
+  EpochManager::Guard guard(EpochManager::Global());
+  for (int attempt = 0;; ++attempt) {
+    values->clear();
+    bool restart = false;
+    const uint64_t v = s.latch.ReadLockOrRestart(&restart);
+    if (!restart) {
+      const Table* t = s.table.load(std::memory_order_acquire);
+      const Node* n =
+          t->slots[BucketFor(h, t)].load(std::memory_order_acquire);
+      while (n != nullptr) {
+        if (n->key == key) values->push_back(n->value);
+        n = n->next.load(std::memory_order_acquire);
+      }
+      s.latch.CheckOrRestart(v, &restart);
+    }
+    if (!restart) return;
+    RestartBackoff(attempt);
+  }
 }
 
 }  // namespace slidb

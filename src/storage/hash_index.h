@@ -1,10 +1,19 @@
 // Sharded hash index: uint64 key → uint64 value multimap for exact-match
 // secondary indexes (e.g. TM1 subscriber number → subscriber id).
+//
+// Reads are optimistic (same treatment as the B-tree's OLC rewrite): each
+// shard carries an OptLatch whose version readers snapshot, traverse the
+// bucket chains with acquire loads and zero shared-memory stores, then
+// re-validate — a concurrent writer bumps the version and the reader
+// restarts. Writers serialize per shard through the latch's write lock.
+// Unlinked nodes and replaced bucket tables are freed through the global
+// epoch manager (util/epoch.h): an optimistic reader may still be inside
+// them, so memory is reclaimed only after its grace period.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/util/cacheline.h"
@@ -16,6 +25,7 @@ namespace slidb {
 class HashIndex {
  public:
   explicit HashIndex(size_t shards = 64);
+  ~HashIndex();
 
   HashIndex(const HashIndex&) = delete;
   HashIndex& operator=(const HashIndex&) = delete;
@@ -34,18 +44,49 @@ class HashIndex {
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
  private:
-  struct Shard {
-    mutable SpinLatch latch;
-    std::unordered_multimap<uint64_t, uint64_t> map;
+  /// Chain node. `key`/`value` are written only before publication (the
+  /// release store linking the node), so optimistic readers that reached
+  /// the node through an acquire load read them race-free; `next` is the
+  /// only field mutated afterwards and is always accessed atomically.
+  struct Node {
+    uint64_t key;
+    uint64_t value;
+    std::atomic<Node*> next{nullptr};
   };
 
-  Shard& ShardFor(uint64_t key) const {
+  /// Bucket array, swapped wholesale on growth (the old table is epoch-
+  /// retired; readers caught mid-traversal fail version validation).
+  struct Table {
+    explicit Table(size_t buckets)
+        : mask(buckets - 1),
+          slots(std::make_unique<std::atomic<Node*>[]>(buckets)) {}
+    const size_t mask;
+    std::unique_ptr<std::atomic<Node*>[]> slots;
+  };
+
+  struct Shard {
+    OptLatch latch;             ///< readers validate, writers lock exclusively
+    std::atomic<Table*> table;  ///< current bucket array
+    size_t count = 0;           ///< live nodes; writer-only, under the latch
+  };
+
+  static uint64_t Mix(uint64_t key) {
     uint64_t h = key;
     h ^= h >> 33;
     h *= 0xff51afd7ed558ccdULL;
     h ^= h >> 33;
-    return *shards_[h & shard_mask_];
+    return h;
   }
+
+  Shard& ShardFor(uint64_t h) const { return *shards_[h & shard_mask_]; }
+  /// Bucket index inside a shard: the hash's high half, independent of the
+  /// low bits that picked the shard.
+  static size_t BucketFor(uint64_t h, const Table* t) {
+    return static_cast<size_t>(h >> 32) & t->mask;
+  }
+
+  /// Double the shard's bucket table; caller holds the shard write lock.
+  void GrowLocked(Shard& s, Table* old_table);
 
   std::unique_ptr<CacheAligned<Shard>[]> shards_;
   size_t shard_mask_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/lock/lock_client.h"
+#include "src/log/log_staging.h"
 
 namespace slidb {
 
@@ -62,6 +63,8 @@ class Transaction {
     undo_.clear();
     log_bytes_ = 0;
     begin_logged_ = false;
+    staging_.Clear();
+    staged_published_ = false;
     lock_client_.StartTxn(id, agent_id);
   }
 
@@ -78,6 +81,15 @@ class Transaction {
   /// kBegin is emitted lazily with the first mutation record, so read-only
   /// transactions put nothing in the log append path.
   bool begin_logged_ = false;
+  /// Transaction-private log staging (log_staging.h): redo records
+  /// accumulate here and publish as one batch reservation at commit (or at
+  /// the staging watermark for long transactions). TransactionManager is
+  /// the only writer.
+  LogStagingBuffer staging_;
+  /// True once any staged batch of this transaction was published (the
+  /// staging watermark fired): the txn now exists in the log, so an abort
+  /// must append its kAbort record instead of just dropping the buffer.
+  bool staged_published_ = false;
 };
 
 }  // namespace slidb

@@ -24,7 +24,29 @@ void TransactionManager::MaybeLogBegin(Transaction& txn) {
   // and recovery still sees begin strictly before any of the txn's redo.
   if (txn.begin_logged_) return;
   txn.begin_logged_ = true;
-  log_manager_->Append(txn.id(), LogRecordType::kBegin, nullptr, 0);
+  EmitRecord(txn, LogRecordType::kBegin, nullptr, 0);
+}
+
+void TransactionManager::EmitRecord(Transaction& txn, LogRecordType type,
+                                    const void* payload,
+                                    uint32_t payload_len) {
+  if (!UseStaging()) {
+    log_manager_->Append(txn.id(), type, payload, payload_len);
+    return;
+  }
+  txn.staging_.Stage(txn.id(), type, payload, payload_len);
+  // Long-transaction watermark: publish the partial batch (no commit
+  // record yet — the txn still holds its locks, so dependents cannot have
+  // observed these writes, let alone logged past them).
+  if (txn.staging_.bytes() >= options_.staging_flush_bytes) {
+    PublishStaged(txn);
+  }
+}
+
+Lsn TransactionManager::PublishStaged(Transaction& txn) {
+  if (txn.staging_.empty()) return 0;
+  txn.staged_published_ = true;
+  return log_manager_->AppendBatch(&txn.staging_);
 }
 
 void TransactionManager::LogHeapOp(AgentContext* agent, LogRecordType type,
@@ -51,7 +73,7 @@ void TransactionManager::LogHeapOp(AgentContext* agent, LogRecordType type,
     std::memcpy(buf + sizeof(row), image.data(), image.size());
   }
   const auto total = static_cast<uint32_t>(sizeof(row) + image.size());
-  log_manager_->Append(agent->txn().id(), type, buf, total);
+  EmitRecord(agent->txn(), type, buf, total);
   agent->txn().AddLogBytes(total);
 }
 
@@ -64,13 +86,21 @@ void TransactionManager::LogIndexOp(AgentContext* agent, LogRecordType type,
   entry.index = index;
   entry.key = key;
   entry.value = value;
-  log_manager_->Append(agent->txn().id(), type, &entry,
-                       static_cast<uint32_t>(sizeof(entry)));
+  EmitRecord(agent->txn(), type, &entry, static_cast<uint32_t>(sizeof(entry)));
   agent->txn().AddLogBytes(sizeof(entry));
 }
 
 Lsn TransactionManager::CommitLogInsert(Transaction& txn) {
-  return log_manager_->Append(txn.id(), LogRecordType::kCommit, nullptr, 0);
+  if (!UseStaging()) {
+    return log_manager_->Append(txn.id(), LogRecordType::kCommit, nullptr, 0);
+  }
+  // The commit record rides the SAME batch as the txn's remaining redo
+  // records, last in line: one reservation fixes all their LSNs, with the
+  // commit record's end LSN as the batch end. ELR stays sound — locks drop
+  // only after this publish returns, so any dependent's records (and its
+  // commit) reserve strictly after ours.
+  txn.staging_.Stage(txn.id(), LogRecordType::kCommit, nullptr, 0);
+  return PublishStaged(txn);
 }
 
 void TransactionManager::CommitReleaseLocks(AgentContext* agent,
@@ -133,7 +163,22 @@ void TransactionManager::Abort(AgentContext* agent) {
   // transaction that logged nothing appends nothing on abort either.
   txn.RunUndo();
   if (log_manager_ != nullptr && txn.begin_logged_) {
-    log_manager_->Append(txn.id(), LogRecordType::kAbort, nullptr, 0);
+    if (UseStaging() && !txn.staged_published_) {
+      // Nothing of this transaction ever reached the log: drop the staged
+      // records instead of publishing dead weight — an aborted transaction
+      // is a ghost to recovery either way.
+      txn.staging_.Clear();
+    } else if (UseStaging()) {
+      // A partial batch already published (staging watermark): close the
+      // txn's on-log story with its abort record. Staged-but-unpublished
+      // redo is dropped first — recovery would skip it unconditionally
+      // (the txn is a ghost), so publishing it would be dead log weight.
+      txn.staging_.Clear();
+      txn.staging_.Stage(txn.id(), LogRecordType::kAbort, nullptr, 0);
+      PublishStaged(txn);
+    } else {
+      log_manager_->Append(txn.id(), LogRecordType::kAbort, nullptr, 0);
+    }
   }
   lock_manager_->ReleaseAll(&txn.lock_client(), &agent->sli(),
                             /*allow_inherit=*/false);

@@ -75,6 +75,31 @@ __attribute__((target("sse4.2"))) uint32_t HardwareCrc(uint32_t crc,
   return ~c32;
 }
 
+// Copy + checksum in one pass: each 8-byte chunk is loaded once, folded
+// into the CRC, and stored to the destination while still in registers.
+__attribute__((target("sse4.2"))) uint32_t HardwareCrcCopy(uint32_t crc,
+                                                           uint8_t* dst,
+                                                           const uint8_t* src,
+                                                           size_t len) {
+  uint64_t c = static_cast<uint32_t>(~crc);
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, src, sizeof(chunk));
+    c = __builtin_ia32_crc32di(c, chunk);
+    std::memcpy(dst, &chunk, sizeof(chunk));
+    src += 8;
+    dst += 8;
+    len -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (len-- > 0) {
+    const uint8_t b = *src++;
+    c32 = __builtin_ia32_crc32qi(c32, b);
+    *dst++ = b;
+  }
+  return ~c32;
+}
+
 bool HaveHardwareCrc() {
   static const bool have = __builtin_cpu_supports("sse4.2");
   return have;
@@ -82,6 +107,9 @@ bool HaveHardwareCrc() {
 #else
 bool HaveHardwareCrc() { return false; }
 uint32_t HardwareCrc(uint32_t, const uint8_t*, size_t) { return 0; }
+uint32_t HardwareCrcCopy(uint32_t, uint8_t*, const uint8_t*, size_t) {
+  return 0;
+}
 #endif
 
 }  // namespace
@@ -90,6 +118,16 @@ uint32_t Crc32c(uint32_t crc, const void* data, size_t len) {
   const auto* p = static_cast<const uint8_t*>(data);
   if (HaveHardwareCrc()) return HardwareCrc(crc, p, len);
   return SoftwareCrc(crc, p, len);
+}
+
+uint32_t Crc32cCopy(uint32_t crc, void* dst, const void* src, size_t len) {
+  auto* d = static_cast<uint8_t*>(dst);
+  const auto* s = static_cast<const uint8_t*>(src);
+  if (HaveHardwareCrc()) return HardwareCrcCopy(crc, d, s, len);
+  // Software fallback: copy first, then checksum the destination while it
+  // is still cache-hot — one logical pass over cold input bytes.
+  std::memcpy(d, s, len);
+  return SoftwareCrc(crc, d, len);
 }
 
 }  // namespace slidb

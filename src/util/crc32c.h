@@ -16,4 +16,10 @@ namespace slidb {
 ///   Crc32c(Crc32c(0, a, la), b, lb) == Crc32c(0, concat(a,b), la+lb)
 uint32_t Crc32c(uint32_t crc, const void* data, size_t len);
 
+/// memcpy(dst, src, len) fused with a Crc32c extension over the same bytes
+/// in one pass — the batch-publish seal rides the ring copy loop instead of
+/// re-reading the record. Composes exactly like Crc32c. `dst` and `src`
+/// must not overlap.
+uint32_t Crc32cCopy(uint32_t crc, void* dst, const void* src, size_t len);
+
 }  // namespace slidb

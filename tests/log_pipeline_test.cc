@@ -45,7 +45,9 @@ struct ParsedRecord {
 
 /// Parse a captured stream back into records through the real wire-format
 /// validator (CRC32C + self-LSN + version checks on every record); fails
-/// the test on a torn, corrupt, or truncated record.
+/// the test on a torn, corrupt, or truncated record. kBatchSeal envelopes
+/// are validated, then their interior records surfaced individually —
+/// exactly the scanner's view.
 std::vector<ParsedRecord> ParseStream(const std::vector<uint8_t>& bytes) {
   std::vector<ParsedRecord> out;
   size_t pos = 0;
@@ -60,12 +62,26 @@ std::vector<ParsedRecord> ParseStream(const std::vector<uint8_t>& bytes) {
                     << LogScanStatusName(st);
       break;
     }
-    ParsedRecord r;
-    r.txn_id = hdr.txn_id;
-    r.type = hdr.type;
-    r.payload.assign(payload, payload + hdr.payload_len);
+    if (hdr.type == static_cast<uint8_t>(LogRecordType::kBatchSeal)) {
+      EXPECT_TRUE(ForEachEnvelopeRecord(
+          payload, hdr.payload_len, hdr.lsn + sizeof(LogRecordHeader),
+          [&](const LogRecordHeader& inner, const uint8_t* inner_payload) {
+            ParsedRecord r;
+            r.txn_id = inner.txn_id;
+            r.type = inner.type;
+            r.payload.assign(inner_payload,
+                             inner_payload + inner.payload_len);
+            out.push_back(std::move(r));
+          }))
+          << "malformed envelope interior at " << pos;
+    } else {
+      ParsedRecord r;
+      r.txn_id = hdr.txn_id;
+      r.type = hdr.type;
+      r.payload.assign(payload, payload + hdr.payload_len);
+      out.push_back(std::move(r));
+    }
     pos += sizeof(LogRecordHeader) + hdr.payload_len;
-    out.push_back(std::move(r));
   }
   return out;
 }
@@ -367,6 +383,248 @@ TEST(LogPipelineTest, SequenceNumberWrapAt2To20Records) {
   log.WaitDurable(last);
   EXPECT_GE(log.durable_lsn(), last);
   EXPECT_EQ(log.Stats().records, kTotal + 1);
+}
+
+TEST(LogBatchTest, EnvelopeFormationSealsSmallRunsUnderOneCrc) {
+  // One batch of [8 tiny][1 big][8 tiny] records must publish as exactly
+  // three outer records — envelope, plain, envelope — with interior
+  // records carrying real stream LSNs and ZERO crc fields (the envelope's
+  // checksum is the only seal covering them).
+  StreamCapture capture;
+  LogOptions o;
+  o.flush_interval_us = 20;
+  capture.Install(&o);
+
+  CounterSet counters;
+  {
+    ScopedCounterSet routed(&counters);
+    LogManager log(o);
+    LogStagingBuffer staging;
+    for (uint32_t i = 0; i < 8; ++i) {
+      const std::vector<uint8_t> p = PayloadFor(1, i, 8);
+      staging.Stage(42, LogRecordType::kUpdate, p.data(),
+                    static_cast<uint32_t>(p.size()));
+    }
+    const std::vector<uint8_t> big = PayloadFor(1, 100, 200);
+    staging.Stage(42, LogRecordType::kUpdate, big.data(),
+                  static_cast<uint32_t>(big.size()));
+    for (uint32_t i = 8; i < 16; ++i) {
+      const std::vector<uint8_t> p = PayloadFor(1, i, 8);
+      staging.Stage(42, LogRecordType::kUpdate, p.data(),
+                    static_cast<uint32_t>(p.size()));
+    }
+    ASSERT_EQ(staging.records(), 17u);
+    const Lsn end = log.AppendBatch(&staging);
+    EXPECT_TRUE(staging.empty());  // drained by the publish
+    log.WaitDurable(end);
+    EXPECT_EQ(log.Stats().records, 17u);  // interior records count
+  }
+
+  EXPECT_EQ(counters.Get(Counter::kLogBatchAppends), 1u);  // ONE reservation
+  EXPECT_EQ(counters.Get(Counter::kLogBatchRecords), 17u);
+  EXPECT_EQ(counters.Get(Counter::kLogBatchBytes), capture.bytes.size());
+
+  // Outer structure: envelope, plain, envelope.
+  std::vector<uint8_t> outer_types;
+  size_t pos = 0;
+  LogRecordHeader hdr;
+  const uint8_t* payload = nullptr;
+  while (DecodeLogRecord(capture.bytes.data(), capture.bytes.size(), pos, 0,
+                         &hdr, &payload) == LogScanStatus::kOk) {
+    outer_types.push_back(hdr.type);
+    if (hdr.type == static_cast<uint8_t>(LogRecordType::kBatchSeal)) {
+      // Interior records: zero crc, self-describing stream LSNs.
+      size_t rel = 0;
+      while (rel < hdr.payload_len) {
+        LogRecordHeader inner;
+        std::memcpy(&inner, payload + rel, sizeof(inner));
+        EXPECT_EQ(inner.crc, 0u);
+        EXPECT_EQ(inner.lsn, hdr.lsn + sizeof(LogRecordHeader) + rel);
+        rel += sizeof(LogRecordHeader) + inner.payload_len;
+      }
+      EXPECT_EQ(rel, hdr.payload_len);
+    }
+    pos += sizeof(LogRecordHeader) + hdr.payload_len;
+  }
+  ASSERT_EQ(outer_types.size(), 3u);
+  EXPECT_EQ(outer_types[0], static_cast<uint8_t>(LogRecordType::kBatchSeal));
+  EXPECT_EQ(outer_types[1], static_cast<uint8_t>(LogRecordType::kUpdate));
+  EXPECT_EQ(outer_types[2], static_cast<uint8_t>(LogRecordType::kBatchSeal));
+
+  // Logical view: all 17 records, in order, bytes intact.
+  const std::vector<ParsedRecord> records = ParseStream(capture.bytes);
+  ASSERT_EQ(records.size(), 17u);
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(records[i].payload, PayloadFor(1, i, 8));
+  }
+  EXPECT_EQ(records[8].payload, PayloadFor(1, 100, 200));
+  for (uint32_t i = 8; i < 16; ++i) {
+    EXPECT_EQ(records[i + 1].payload, PayloadFor(1, i, 8));
+  }
+}
+
+TEST(LogBatchTest, MultiWriterBatchInterleavingThroughRealValidator) {
+  // Several writers publishing whole batches (tiny records → envelopes,
+  // plus occasional big records → plain segments), interleaved with a
+  // per-record appender, over a small ring. The durable stream must decode
+  // through the real validator with every writer's records in program
+  // order AND each batch's records contiguous — one reservation, one
+  // extent. TSan target (this suite runs under TSan in CI).
+  StreamCapture capture;
+  LogOptions o;
+  o.buffer_bytes = 1 << 15;  // 32 KB: several wraps
+  o.reservation_slots = 32;
+  o.flush_interval_us = 10;
+  capture.Install(&o);
+
+  constexpr int kBatchWriters = 3;
+  constexpr uint32_t kBatches = 120;
+  constexpr uint32_t kPerBatch = 9;  // 8 tiny + 1 big
+  constexpr uint32_t kSingles = 400;
+  std::vector<CounterSet> counters(kBatchWriters + 1);
+  {
+    LogManager log(o);
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kBatchWriters; ++w) {
+      threads.emplace_back([&, w] {
+        ScopedCounterSet routed(&counters[w]);
+        LogStagingBuffer staging;
+        for (uint32_t b = 0; b < kBatches; ++b) {
+          for (uint32_t r = 0; r < kPerBatch; ++r) {
+            // Batch number rides the payload so the parser can assert
+            // batch extents stayed contiguous.
+            const uint32_t seq = b * kPerBatch + r;
+            const std::vector<uint8_t> p =
+                PayloadFor(static_cast<uint32_t>(w), seq,
+                           r + 1 == kPerBatch ? 120 : 12);
+            staging.Stage(700 + w, LogRecordType::kUpdate, p.data(),
+                          static_cast<uint32_t>(p.size()));
+          }
+          log.AppendBatch(&staging);
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      ScopedCounterSet routed(&counters[kBatchWriters]);
+      for (uint32_t i = 0; i < kSingles; ++i) {
+        const std::vector<uint8_t> p = PayloadFor(99, i, 20);
+        log.Append(700 + kBatchWriters, LogRecordType::kUpdate, p.data(),
+                   static_cast<uint32_t>(p.size()));
+      }
+    });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(log.Stats().records,
+              uint64_t{kBatchWriters} * kBatches * kPerBatch + kSingles);
+  }
+
+  uint64_t batch_appends = 0, batch_records = 0;
+  for (const CounterSet& c : counters) {
+    batch_appends += c.Get(Counter::kLogBatchAppends);
+    batch_records += c.Get(Counter::kLogBatchRecords);
+  }
+  EXPECT_GE(batch_appends, uint64_t{kBatchWriters} * kBatches);
+  EXPECT_EQ(batch_records, uint64_t{kBatchWriters} * kBatches * kPerBatch);
+
+  EXPECT_TRUE(capture.contiguous);
+  const std::vector<ParsedRecord> records = ParseStream(capture.bytes);
+  ASSERT_EQ(records.size(),
+            size_t{kBatchWriters} * kBatches * kPerBatch + kSingles);
+  uint32_t next_seq[kBatchWriters + 1] = {};
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ParsedRecord& r = records[i];
+    const auto w = static_cast<uint32_t>(r.txn_id - 700);
+    ASSERT_LE(w, static_cast<uint32_t>(kBatchWriters));
+    const uint32_t seq = next_seq[w]++;
+    if (w == kBatchWriters) {
+      ASSERT_EQ(r.payload, PayloadFor(99, seq, 20));
+      continue;
+    }
+    const uint32_t in_batch = seq % kPerBatch;
+    ASSERT_EQ(r.payload,
+              PayloadFor(w, seq, in_batch + 1 == kPerBatch ? 120 : 12))
+        << "writer " << w << " record " << seq;
+    // Batch atomicity: records of one batch are adjacent in the stream.
+    if (in_batch > 0) {
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(records[i - 1].txn_id, r.txn_id)
+          << "batch of writer " << w << " torn apart at record " << seq;
+    }
+  }
+  for (int w = 0; w < kBatchWriters; ++w) {
+    EXPECT_EQ(next_seq[w], kBatches * kPerBatch);
+  }
+  EXPECT_EQ(next_seq[kBatchWriters], kSingles);
+}
+
+TEST(LogBatchTest, LatchedModeBatchParity) {
+  // AppendBatch must produce byte-identical semantics on the legacy
+  // latched path (one latch acquisition per batch).
+  StreamCapture capture;
+  LogOptions o;
+  o.buffer_bytes = 1 << 14;
+  o.append_mode = LogOptions::AppendMode::kLatched;
+  o.flush_interval_us = 20;
+  capture.Install(&o);
+
+  constexpr uint32_t kBatches = 50;
+  {
+    LogManager log(o);
+    LogStagingBuffer staging;
+    Lsn last = 0;
+    for (uint32_t b = 0; b < kBatches; ++b) {
+      for (uint32_t r = 0; r < 6; ++r) {
+        const std::vector<uint8_t> p = PayloadFor(5, b * 6 + r, 10 + r);
+        staging.Stage(800, LogRecordType::kUpdate, p.data(),
+                      static_cast<uint32_t>(p.size()));
+      }
+      last = log.AppendBatch(&staging);
+    }
+    log.WaitDurable(last);
+    EXPECT_EQ(log.Stats().records, uint64_t{kBatches} * 6);
+  }
+
+  EXPECT_TRUE(capture.contiguous);
+  const std::vector<ParsedRecord> records = ParseStream(capture.bytes);
+  ASSERT_EQ(records.size(), size_t{kBatches} * 6);
+  for (uint32_t i = 0; i < kBatches * 6; ++i) {
+    EXPECT_EQ(records[i].payload, PayloadFor(5, i, 10 + (i % 6)));
+  }
+}
+
+TEST(LogBatchTest, OversizedBatchSplitsAcrossReservations) {
+  // A staged batch larger than half the ring must split into several
+  // reservations (at segment granularity) and still publish every record
+  // in order — the chunking path that prevents a self-deadlocking
+  // larger-than-ring reservation.
+  StreamCapture capture;
+  LogOptions o;
+  o.buffer_bytes = 1 << 12;  // 4 KB ring
+  o.flush_interval_us = 10;
+  capture.Install(&o);
+
+  constexpr uint32_t kRecords = 64;  // 64 × ~532 B  >>  ring
+  CounterSet counters;
+  {
+    ScopedCounterSet routed(&counters);
+    LogManager log(o);
+    LogStagingBuffer staging;
+    for (uint32_t i = 0; i < kRecords; ++i) {
+      const std::vector<uint8_t> p = PayloadFor(3, i, 500);
+      staging.Stage(900, LogRecordType::kUpdate, p.data(),
+                    static_cast<uint32_t>(p.size()));
+    }
+    const Lsn end = log.AppendBatch(&staging);
+    log.WaitDurable(end);
+  }
+  EXPECT_GT(counters.Get(Counter::kLogBatchAppends), 1u);
+  EXPECT_EQ(counters.Get(Counter::kLogBatchRecords), uint64_t{kRecords});
+
+  EXPECT_TRUE(capture.contiguous);
+  const std::vector<ParsedRecord> records = ParseStream(capture.bytes);
+  ASSERT_EQ(records.size(), size_t{kRecords});
+  for (uint32_t i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(records[i].payload, PayloadFor(3, i, 500));
+  }
 }
 
 // Mixed appenders and committers over a small ring with few slots — the

@@ -240,7 +240,7 @@ TEST(LogDeviceTest, FileDeviceRoundTrip) {
   const std::string path = "slidb_file_device_test.log";
   {
     std::unique_ptr<FileLogDevice> dev;
-    ASSERT_TRUE(FileLogDevice::Open(path, /*sync_each_flush=*/true, &dev)
+    ASSERT_TRUE(FileLogDevice::Open(path, /*fsync_every_n_flushes=*/1, &dev)
                     .ok());
     std::vector<uint8_t> a(64), b(32);
     for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<uint8_t>(i);
@@ -257,6 +257,37 @@ TEST(LogDeviceTest, FileDeviceRoundTrip) {
   std::vector<uint8_t> reread;
   ASSERT_TRUE(FileLogDevice::ReadFile(path, &reread).ok());
   EXPECT_EQ(reread.size(), 96u);
+  std::remove(path.c_str());
+}
+
+TEST(LogDeviceTest, FileDeviceCoalescedFsyncRoundTrip) {
+  // fsync_every_n_flushes = 3: flushes 3 and 6 sync, 7 leaves an unsynced
+  // tail that the destructor (clean shutdown) must still harden. The byte
+  // stream and DurableBytes accounting are identical to per-flush fsync.
+  const std::string path = "slidb_file_device_coalesce.log";
+  constexpr size_t kChunk = 48;
+  {
+    std::unique_ptr<FileLogDevice> dev;
+    ASSERT_TRUE(FileLogDevice::Open(path, /*fsync_every_n_flushes=*/3, &dev)
+                    .ok());
+    std::vector<uint8_t> chunk(kChunk);
+    Lsn lsn = 0;
+    for (int i = 0; i < 7; ++i) {
+      for (size_t b = 0; b < kChunk; ++b) {
+        chunk[b] = static_cast<uint8_t>(i * 31 + b);
+      }
+      ASSERT_TRUE(dev->Append(chunk.data(), chunk.size(), lsn).ok());
+      lsn += chunk.size();
+    }
+    EXPECT_EQ(dev->DurableBytes(), 7 * kChunk);
+    std::vector<uint8_t> back;
+    ASSERT_TRUE(dev->ReadAll(&back).ok());
+    ASSERT_EQ(back.size(), 7 * kChunk);
+    EXPECT_EQ(back[6 * kChunk], static_cast<uint8_t>(6 * 31));
+  }
+  std::vector<uint8_t> reread;
+  ASSERT_TRUE(FileLogDevice::ReadFile(path, &reread).ok());
+  EXPECT_EQ(reread.size(), 7 * kChunk);
   std::remove(path.c_str());
 }
 
@@ -428,8 +459,12 @@ TEST(RecoverySweepTest, TruncationAtEveryByteYieldsACommittedPrefix) {
 
   // Pre-compute the set of record boundaries from a full scan: truncating
   // exactly at a boundary is a clean end; anywhere else must be reported
-  // (and counted) as a corrupt tail.
+  // (and counted) as a corrupt tail. Under staged logging the workload's
+  // small records publish inside kBatchSeal envelopes — assert the sweep
+  // actually covers them (a cut inside an envelope is a non-boundary cut
+  // that must discard the whole envelope).
   std::set<size_t> boundaries{0};
+  size_t envelopes = 0;
   {
     RecoveryManager rm(stream);
     const RecoveryReport& r = rm.Scan();
@@ -439,10 +474,15 @@ TEST(RecoverySweepTest, TruncationAtEveryByteYieldsACommittedPrefix) {
     const uint8_t* payload = nullptr;
     while (DecodeLogRecord(stream.data(), stream.size(), pos, 0, &hdr,
                            &payload) == LogScanStatus::kOk) {
+      if (hdr.type == static_cast<uint8_t>(LogRecordType::kBatchSeal)) {
+        ++envelopes;
+      }
       pos += sizeof(LogRecordHeader) + hdr.payload_len;
       boundaries.insert(pos);
     }
     ASSERT_EQ(pos, stream.size());
+    ASSERT_GT(envelopes, 0u)
+        << "staged logging should have produced batch-seal envelopes";
   }
 
   for (size_t cut = 0; cut <= stream.size(); ++cut) {
@@ -504,6 +544,90 @@ TEST(RecoverySweepTest, MidStreamBitFlipsYieldACommittedPrefix) {
         << "byte=" << byte;
     EXPECT_EQ(DumpBTree(target.catalog, idx), snapshots[k].index)
         << "byte=" << byte;
+  }
+}
+
+TEST(RecoverySweepTest, BatchedEnvelopeStreamTruncationSweep) {
+  // A purely batched stream straight through LogManager::AppendBatch: each
+  // txn is one batch of small records (begin + 3 index inserts + commit),
+  // publishing as exactly one kBatchSeal envelope. Truncate at every byte:
+  // a cut anywhere strictly inside an envelope must discard the WHOLE
+  // envelope — the committed count and replayed state always correspond to
+  // complete envelopes, never to a prefix of one's interior.
+  InMemoryLogDevice device;
+  LogOptions o;
+  o.flush_interval_us = 20;
+  AttachLogDevice(&o, &device);
+  constexpr uint64_t kTxns = 10;
+  {
+    LogManager log(o);
+    LogStagingBuffer staging;
+    Lsn last = 0;
+    for (uint64_t txn = 1; txn <= kTxns; ++txn) {
+      staging.Stage(txn, LogRecordType::kBegin, nullptr, 0);
+      for (uint64_t k = 0; k < 3; ++k) {
+        IndexRedoPayload e{};
+        e.index = 0;
+        e.key = txn * 100 + k;
+        e.value = txn;
+        staging.Stage(txn, LogRecordType::kIndexInsert, &e,
+                      static_cast<uint32_t>(sizeof(e)));
+      }
+      staging.Stage(txn, LogRecordType::kCommit, nullptr, 0);
+      last = log.AppendBatch(&staging);
+    }
+    log.WaitDurable(last);
+  }
+  std::vector<uint8_t> stream;
+  ASSERT_TRUE(device.ReadAll(&stream).ok());
+
+  // Outer walk: the stream must be all envelopes; note each one's end.
+  std::vector<size_t> envelope_ends;
+  {
+    size_t pos = 0;
+    LogRecordHeader hdr;
+    const uint8_t* payload = nullptr;
+    while (DecodeLogRecord(stream.data(), stream.size(), pos, 0, &hdr,
+                           &payload) == LogScanStatus::kOk) {
+      ASSERT_EQ(hdr.type, static_cast<uint8_t>(LogRecordType::kBatchSeal));
+      pos += sizeof(LogRecordHeader) + hdr.payload_len;
+      envelope_ends.push_back(pos);
+    }
+    ASSERT_EQ(envelope_ends.size(), kTxns);
+    ASSERT_EQ(envelope_ends.back(), stream.size());
+  }
+
+  for (size_t cut = 0; cut <= stream.size(); ++cut) {
+    CounterSet counters;
+    ScopedCounterSet routed(&counters);
+    // k = number of COMPLETE envelopes inside the cut; that — and nothing
+    // partial — is what recovery may trust.
+    size_t k = 0;
+    while (k < envelope_ends.size() && envelope_ends[k] <= cut) ++k;
+    const bool at_boundary = cut == 0 || (k > 0 && envelope_ends[k - 1] == cut);
+
+    RecoveryManager rm(
+        std::vector<uint8_t>(stream.begin(), stream.begin() + cut));
+    const RecoveryReport& r = rm.Scan();
+    EXPECT_EQ(r.committed_txns, k) << "cut=" << cut;
+    EXPECT_EQ(r.records_scanned, k * 5) << "cut=" << cut;
+    EXPECT_EQ(r.torn_tail, !at_boundary) << "cut=" << cut;
+    EXPECT_EQ(counters.Get(Counter::kLogChecksumFail), at_boundary ? 0u : 1u)
+        << "cut=" << cut;
+    for (uint64_t txn = 1; txn <= kTxns; ++txn) {
+      EXPECT_EQ(rm.IsCommitted(txn), txn <= k) << "cut=" << cut;
+    }
+
+    // Replay: exactly the complete envelopes' index entries, in order.
+    RecoveryTarget target;
+    const TableId t = target.AddTable();
+    const IndexId idx = target.AddBTree(t);
+    ASSERT_TRUE(rm.Replay(&target.catalog).ok()) << "cut=" << cut;
+    IndexSet want;
+    for (uint64_t txn = 1; txn <= k; ++txn) {
+      for (uint64_t e = 0; e < 3; ++e) want.emplace(txn * 100 + e, txn);
+    }
+    EXPECT_EQ(DumpBTree(target.catalog, idx), want) << "cut=" << cut;
   }
 }
 
@@ -766,6 +890,68 @@ TEST(RecoveryEngineTest, HashIndexEntriesReplay) {
   EXPECT_TRUE(target.catalog.index(h).hash->Lookup(78, &v).IsNotFound());
 }
 
+TEST(RecoveryEngineTest, AbortBeforePublishLeavesNoTrace) {
+  // With staged logging, a transaction that aborts before any partial
+  // batch published simply drops its staging buffer: the log never learns
+  // the transaction existed (recovery would have skipped it as a ghost
+  // anyway — this just skips the dead weight).
+  CrashSink sink;
+  DatabaseOptions o = TestOptions();
+  ASSERT_TRUE(o.txn.staged_log_appends);
+  sink.Install(&o.log);
+  {
+    Database db(o);
+    const TableId t = db.CreateTable("t");
+    auto agent = db.CreateAgent();
+    Rid rid;
+    db.Begin(agent.get());
+    ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("doomed.."), &rid).ok());
+    db.Abort(agent.get());
+    EXPECT_EQ(db.log_manager().Stats().records, 0u);
+    db.Begin(agent.get());
+    ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("kept...."), &rid).ok());
+    ASSERT_TRUE(db.Commit(agent.get()).ok());
+    EXPECT_EQ(db.log_manager().Stats().records, 3u);  // begin+insert+commit
+  }
+  RecoveryManager rm(sink.Stream());
+  const RecoveryReport& r = rm.Scan();
+  EXPECT_EQ(r.committed_txns, 1u);
+  EXPECT_EQ(r.uncommitted_txns, 0u);  // the aborted txn left no records
+  EXPECT_EQ(r.aborted_txns, 0u);
+}
+
+TEST(RecoveryEngineTest, WatermarkFlushedAbortStaysAGhost) {
+  // A long transaction whose staging watermark fired has already published
+  // redo records; its abort must close the on-log story with a kAbort
+  // record, and recovery must still replay none of it.
+  CrashSink sink;
+  DatabaseOptions o = TestOptions();
+  o.txn.staging_flush_bytes = 64;  // force mid-transaction partial publishes
+  sink.Install(&o.log);
+  {
+    Database db(o);
+    const TableId t = db.CreateTable("t");
+    auto agent = db.CreateAgent();
+    Rid rid;
+    db.Begin(agent.get());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db.Insert(agent.get(), t, Bytes("partial!"), &rid).ok());
+    }
+    EXPECT_GT(db.log_manager().Stats().records, 0u)
+        << "watermark should have published a partial batch";
+    db.Abort(agent.get());
+  }
+  RecoveryManager rm(sink.Stream());
+  const RecoveryReport& r = rm.Scan();
+  EXPECT_EQ(r.committed_txns, 0u);
+  EXPECT_EQ(r.aborted_txns, 1u);  // the abort record made it out
+  RecoveryTarget target;
+  const TableId t = target.AddTable();
+  ASSERT_TRUE(rm.Replay(&target.catalog).ok());
+  EXPECT_TRUE(DumpHeap(target.catalog, t).empty());
+  EXPECT_GT(rm.report().records_skipped, 0u);
+}
+
 // ---- concurrency: crash under load & the early-release durability gate ------
 
 /// Threads for concurrency tests, per the ROADMAP single-CPU guidance:
@@ -889,7 +1075,18 @@ struct DurabilityAudit {
       const uint8_t* payload = nullptr;
       while (DecodeLogRecord(bytes.data(), bytes.size(), parsed, 0, &hdr,
                              &payload) == LogScanStatus::kOk) {
-        if (hdr.type == static_cast<uint8_t>(LogRecordType::kCommit)) {
+        if (hdr.type == static_cast<uint8_t>(LogRecordType::kBatchSeal)) {
+          // Commit records of batched transactions live INSIDE the
+          // envelope; the audit must see through it like the scanner does.
+          EXPECT_TRUE(ForEachEnvelopeRecord(
+              payload, hdr.payload_len, hdr.lsn + sizeof(LogRecordHeader),
+              [&](const LogRecordHeader& inner, const uint8_t*) {
+                if (inner.type ==
+                    static_cast<uint8_t>(LogRecordType::kCommit)) {
+                  committed.insert(inner.txn_id);
+                }
+              }));
+        } else if (hdr.type == static_cast<uint8_t>(LogRecordType::kCommit)) {
           committed.insert(hdr.txn_id);
         }
         parsed += sizeof(LogRecordHeader) + hdr.payload_len;
