@@ -41,11 +41,18 @@ class LockClient {
   }
 
   /// Record a durability dependency: the acquired head was last written by
-  /// a transaction whose commit record ends at `lsn` (0 = none). A
-  /// read-only commit waits for durable >= dep_lsn() so it can never
-  /// report state an early-released, crash-lost writer produced.
+  /// a transaction whose commit record ends at `lsn` (0 = none). Commit
+  /// externalizes only once durable >= dep_lsn(), so a caller can never
+  /// observe state an early-released, crash-lost writer produced — by
+  /// blocking (default) or by deferring the acknowledgement
+  /// (TxnOptions::speculative_reads). Each horizon raise is the capture
+  /// point of one speculative read: the data may be read and used right
+  /// now, ahead of its writer's durability.
   void NoteDep(uint64_t lsn) {
-    if (lsn > dep_lsn_) dep_lsn_ = lsn;
+    if (lsn > dep_lsn_) {
+      dep_lsn_ = lsn;
+      CountEvent(Counter::kTxnSpecReads);
+    }
   }
   uint64_t dep_lsn() const { return dep_lsn_; }
 

@@ -59,11 +59,14 @@ class LockTable {
 
   /// Like ForEachHead, but skips buckets whose aggregate waiter count
   /// (maintained by LockHead::AddWaiter/RemoveWaiter) is zero — without
-  /// taking the bucket latch, let alone any head latch. Waits-for edges
-  /// only exist on heads with a waiting or converting request, so this
-  /// visits every head that can contribute one; a waiter arriving
-  /// concurrently with the scan is caught by the caller's next pass (the
-  /// deadlock detector is periodic by design).
+  /// taking the bucket latch, let alone any head latch — and, inside a
+  /// bucket that does have waiters, skips latching the individual heads
+  /// whose own `waiter_count` is zero (one chain of a hot bucket can hold
+  /// dozens of uncontended row heads next to the single contended one).
+  /// Waits-for edges only exist on heads with a waiting or converting
+  /// request, so this visits every head that can contribute one; a waiter
+  /// arriving concurrently with either skip check is caught by the
+  /// caller's next pass (the deadlock detector is periodic by design).
   template <typename Fn>
   void ForEachHeadWithWaiters(Fn&& fn) {
     for (size_t i = 0; i <= bucket_mask_; ++i) {
@@ -71,6 +74,7 @@ class LockTable {
       if (bucket.waiters.load(std::memory_order_acquire) == 0) continue;
       SpinLatchGuard bg(bucket.latch);
       for (LockHead* h = bucket.chain; h != nullptr; h = h->bucket_next) {
+        if (h->waiter_count.load(std::memory_order_acquire) == 0) continue;
         SpinLatchGuard hg(h->latch);
         fn(h);
       }

@@ -406,6 +406,32 @@ void LogManager::WaitDurable(Lsn lsn) {
   }
 }
 
+bool LogManager::ParkDeferred(DeferredAck* ack) {
+  // Inline settle when the horizon is already durable (the common case on
+  // read-mostly workloads: the observed writers hardened flushes ago) or
+  // when durability is off — then there is nothing to wait for by
+  // definition, matching WaitDurable's early return.
+  if (!options_.durable_commit ||
+      durable_lsn_.load(std::memory_order_acquire) >= ack->lsn) {
+    ack->settle_ns = ack->park_ns;
+    ack->state.store(DeferredAck::kDurable, std::memory_order_release);
+    return false;
+  }
+  ack->state.store(DeferredAck::kParked, std::memory_order_relaxed);
+  DeferredAck* head = deferred_.load(std::memory_order_relaxed);
+  do {
+    ack->next = head;
+  } while (!deferred_.compare_exchange_weak(head, ack,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed));
+  // Kick the flusher (same contract as WaitDurable's push): a park racing
+  // a concurrent settle pass is picked up by the pass this notify — or the
+  // periodic timeout — triggers. A pathological race where the LSN became
+  // durable between our check and the push just settles one pass later.
+  flush_cv_.notify_one();
+  return true;
+}
+
 bool LogManager::AdvanceWatermarkLocked() {
   Lsn w = watermark_.load(std::memory_order_relaxed);
   bool advanced = false;
@@ -472,6 +498,39 @@ void LogManager::SettleWaiters(bool shutdown) {
   }
 }
 
+void LogManager::SettleDeferredAcks(bool shutdown) {
+  DeferredAck* incoming =
+      deferred_.exchange(nullptr, std::memory_order_acquire);
+  while (incoming != nullptr) {
+    DeferredAck* next = incoming->next;
+    incoming->next = deferred_pending_;
+    deferred_pending_ = incoming;
+    incoming = next;
+  }
+  if (deferred_pending_ == nullptr) return;
+  const Lsn durable = durable_lsn_.load(std::memory_order_relaxed);
+  const uint64_t now = NowNanos();
+  DeferredAck** pp = &deferred_pending_;
+  while (*pp != nullptr) {
+    DeferredAck* a = *pp;
+    if (a->lsn <= durable || shutdown) {
+      *pp = a->next;
+      a->next = nullptr;
+      a->settle_ns = now;
+      // kDurable only when the horizon actually hardened: at shutdown an
+      // unsatisfied ack's dependency died with the log, and reporting it
+      // committed would externalize state recovery will not reproduce.
+      // After this store the node belongs to its owner thread again.
+      a->state.store(a->lsn <= durable ? DeferredAck::kDurable
+                                       : DeferredAck::kLost,
+                     std::memory_order_release);
+      a->state.notify_one();
+    } else {
+      pp = &a->next;
+    }
+  }
+}
+
 void LogManager::FlushOnce() {
   publish_latch_.Acquire();
   AdvanceWatermarkLocked();
@@ -505,6 +564,7 @@ void LogManager::FlushOnce() {
   if (options_.waiter_policy == LogOptions::WaiterPolicy::kConsolidated) {
     SettleWaiters(/*shutdown=*/false);
   }
+  SettleDeferredAcks(/*shutdown=*/false);
 }
 
 void LogManager::FlusherLoop() {
@@ -519,9 +579,11 @@ void LogManager::FlusherLoop() {
   }
   lk.unlock();
   // Drain on shutdown: harden whatever is completely published, then
-  // release every committer so nobody hangs.
+  // release every committer (and every parked deferred ack) so nobody
+  // hangs and no settlement-queue pointer outlives the flusher.
   FlushOnce();
   SettleWaiters(/*shutdown=*/true);
+  SettleDeferredAcks(/*shutdown=*/true);
   durable_cv_.notify_all();
 }
 

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/log/commit_dependency.h"
 #include "src/log/log_record.h"
 #include "src/log/log_staging.h"
 #include "src/util/cacheline.h"
@@ -132,6 +133,17 @@ class LogManager {
   /// Block until everything up to `lsn` is durable (group commit).
   void WaitDurable(Lsn lsn);
 
+  /// Asynchronous alternative to WaitDurable (speculative commits): park
+  /// `ack` — its `lsn` and `park_ns` already filled by the caller — on the
+  /// dependency-settlement queue and return immediately. The flusher
+  /// settles it (state kParked -> kDurable) in the pass that makes its LSN
+  /// durable, or as kLost at shutdown if the horizon never hardens. Fast
+  /// path: when the LSN is already durable (or durability is off) the ack
+  /// settles inline as kDurable and this returns false — nothing was
+  /// parked. The node must stay alive until it reaches a terminal state;
+  /// DeferredAckRing provides that lifetime.
+  bool ParkDeferred(DeferredAck* ack);
+
   Lsn durable_lsn() const { return durable_lsn_.load(std::memory_order_acquire); }
   /// End of the contiguously *published* prefix (every record below it is
   /// completely filled; the flusher may harden up to here).
@@ -222,6 +234,11 @@ class LogManager {
   /// Wake satisfied committers (consolidated policy; flusher thread only).
   /// With `shutdown` set, every waiter is released regardless of LSN.
   void SettleWaiters(bool shutdown);
+  /// Settle parked deferred acks whose horizon is now durable (flusher
+  /// thread only). With `shutdown` set, still-unsatisfied acks settle as
+  /// kLost — their dependencies aborted with the log, so they must never
+  /// be reported as committed.
+  void SettleDeferredAcks(bool shutdown);
 
   LogOptions options_;
   size_t slot_mask_ = 0;
@@ -238,6 +255,11 @@ class LogManager {
 
   std::atomic<CommitWaiter*> waiters_{nullptr};  ///< incoming (Treiber push)
   CommitWaiter* pending_ = nullptr;              ///< flusher-private
+
+  /// Dependency-settlement queue (speculative commits): same incoming /
+  /// flusher-private split as the commit waiters above.
+  std::atomic<DeferredAck*> deferred_{nullptr};
+  DeferredAck* deferred_pending_ = nullptr;
 
   /// Serializes the consumer role (watermark advance). Held briefly by the
   /// flusher each pass and by writers helping from slot backpressure.

@@ -78,6 +78,17 @@ enum class Counter : uint32_t {
   kTxnDeadlockAborts,
   kTxnEarlyRelease,    ///< commits that released locks before durability
 
+  // -- speculative reads / commit dependencies --
+  kTxnSpecReads,       ///< lock acquisitions that raised the txn's
+                       ///< durability-dependency horizon (the speculative
+                       ///< read capture point)
+  kTxnDeferredAcks,    ///< commits whose externalization was parked on the
+                       ///< dependency-settlement queue instead of waiting
+  kTxnDepSettleNs,     ///< nanoseconds parked acks spent waiting for their
+                       ///< dependency horizon to harden (flusher-side)
+  kTxnDepAbortedAcks,  ///< parked acks settled as LOST (dependency horizon
+                       ///< never became durable — shutdown / crash path)
+
   kNumCounters,
 };
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "src/lock/agent_sli.h"
+#include "src/log/commit_dependency.h"
 #include "src/stats/counters.h"
 #include "src/stats/profiler.h"
 #include "src/txn/transaction.h"
@@ -35,6 +36,18 @@ class AgentContext {
   Histogram& latency() { return latency_; }
   Rng& rng() { return rng_; }
 
+  /// Parked commit acknowledgements of this agent's speculative commits
+  /// (TxnOptions::speculative_reads). The ring's destructor drains, so the
+  /// flusher never holds a pointer into a dead agent — but the LogManager
+  /// must still be alive (or already shut down, which settles everything)
+  /// when the agent is destroyed with acks outstanding.
+  DeferredAckRing& deferred_acks() { return deferred_acks_; }
+
+  /// Block until every parked acknowledgement settled: the quiesce point a
+  /// speculative-commit consumer calls before reading results or retiring
+  /// the agent. No-op when nothing is outstanding.
+  void DrainDeferredAcks() { deferred_acks_.Drain(); }
+
  private:
   uint32_t id_;
   Transaction txn_;
@@ -43,6 +56,7 @@ class AgentContext {
   CounterSet counters_;
   Histogram latency_;
   Rng rng_;
+  DeferredAckRing deferred_acks_;
 };
 
 }  // namespace slidb

@@ -1,11 +1,13 @@
 #include "src/txn/transaction_manager.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "src/stats/counters.h"
 #include "src/stats/profiler.h"
+#include "src/util/time_util.h"
 
 namespace slidb {
 
@@ -113,6 +115,25 @@ void TransactionManager::CommitWaitDurable(Lsn lsn) {
   log_manager_->WaitDurable(lsn);
 }
 
+void TransactionManager::CommitExternalize(AgentContext* agent, Lsn horizon) {
+  if (horizon == 0) return;
+  if (!options_.speculative_reads) {
+    CommitWaitDurable(horizon);
+    return;
+  }
+  // Speculative: never stall the agent on the flusher. The fast check
+  // avoids burning a ring slot when the horizon already hardened (the
+  // dominant case on read-mostly workloads); otherwise park a deferred ack
+  // and let the flusher externalize the commit when the horizon does.
+  if (log_manager_->durable_lsn() >= horizon) return;
+  DeferredAck* ack = agent->deferred_acks().Acquire();
+  ack->lsn = horizon;
+  ack->park_ns = NowNanos();
+  if (log_manager_->ParkDeferred(ack)) {
+    CountEvent(Counter::kTxnDeferredAcks);
+  }
+}
+
 Status TransactionManager::Commit(AgentContext* agent) {
   ScopedComponent comp(Component::kTxn);
   Transaction& txn = agent->txn();
@@ -125,23 +146,29 @@ Status TransactionManager::Commit(AgentContext* agent) {
     // But under early lock release the data it READ may not be durable
     // yet — the writer dropped its lock at commit-record *insertion*.
     // Every lock acquisition noted the head's last write-commit LSN
-    // (LockClient::NoteDep), so waiting for durable >= dep_lsn guarantees
-    // no caller ever observes state a crash could un-commit — and costs
-    // nothing when the observed writers are already durable, which is the
-    // common case on read-mostly workloads.
+    // (LockClient::NoteDep), so externalizing at durable >= dep_lsn
+    // guarantees no caller ever observes state a crash could un-commit —
+    // and costs nothing when the observed writers are already durable,
+    // which is the common case on read-mostly workloads. Synchronous mode
+    // blocks here; speculative mode parks the acknowledgement instead.
     const Lsn horizon = txn.lock_client().dep_lsn();
     CommitReleaseLocks(agent, 0);
-    if (horizon > 0) CommitWaitDurable(horizon);
+    CommitExternalize(agent, horizon);
   } else if (options_.early_lock_release) {
     // Locks are logically released the instant the commit record enters the
     // log: its LSN fixes the serialization point, and group commit hardens
     // in LSN order, so dependents cannot out-run us to durability. Dropping
     // (or inheriting) locks while the flush is in flight removes the commit
     // I/O from the lock hold time.
+    //
+    // The externalization horizon is our own commit LSN: dependencies were
+    // noted at acquire time, strictly before our commit record reserved
+    // log space, so max(own, deps) == own. The max is kept as a defensive
+    // statement of the invariant, not a needed computation.
     const Lsn lsn = CommitLogInsert(txn);
     CommitReleaseLocks(agent, lsn);
     CountEvent(Counter::kTxnEarlyRelease);
-    CommitWaitDurable(lsn);
+    CommitExternalize(agent, std::max(lsn, txn.lock_client().dep_lsn()));
   } else {
     const Lsn lsn = CommitLogInsert(txn);
     CommitWaitDurable(lsn);

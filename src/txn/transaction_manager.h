@@ -47,6 +47,24 @@ struct TxnOptions {
   /// long transaction cannot pin an unbounded buffer (or overflow the
   /// ring). Orders of magnitude below the default 8 MiB ring.
   size_t staging_flush_bytes = 64u << 10;
+
+  /// Speculative reads with asynchronous commit dependencies. A commit
+  /// whose durability horizon — the commit LSNs of every early-released
+  /// writer it observed (LockClient::NoteDep), plus its own commit record —
+  /// is not yet durable does NOT block in WaitDurable: it parks a
+  /// DeferredAck on the log flusher's dependency-settlement queue and
+  /// Commit() returns immediately. Externalization (the client
+  /// acknowledgement) moves to the ack's settlement, which the flusher
+  /// performs in the pass that hardens the horizon, so the ELR soundness
+  /// invariant (nothing externalizes before every record it depends on is
+  /// parseable from the durable stream) holds unchanged. Off by default:
+  /// direct API callers keep the synchronous contract that Commit()'s
+  /// return IS the durable acknowledgement; deferred-ack consumers must
+  /// drain their agent's ring (AgentContext::DrainDeferredAcks) before
+  /// treating the session as quiesced. Ignored (synchronous) when
+  /// early_lock_release is off for read-write transactions — legacy
+  /// ordering holds locks across the durable wait by definition.
+  bool speculative_reads = false;
 };
 
 class TransactionManager {
@@ -124,6 +142,10 @@ class TransactionManager {
   Lsn CommitLogInsert(Transaction& txn);
   void CommitReleaseLocks(AgentContext* agent, Lsn commit_lsn);
   void CommitWaitDurable(Lsn lsn);
+  /// End game of the commit pipeline: make the commit externalizable at
+  /// `horizon`. Synchronous mode blocks (WaitDurable); speculative mode
+  /// parks a deferred ack on the settlement queue and returns.
+  void CommitExternalize(AgentContext* agent, Lsn horizon);
 
   LockManager* lock_manager_;
   LogManager* log_manager_;

@@ -55,6 +55,11 @@ DriverResult RunWorkload(Database& db, Workload& workload,
             slot.saw_begin = true;
           }
           if (p >= 2) {
+            // Quiesce speculative commits: wait for every parked deferred
+            // ack to settle so the settle-latency / dependency-abort
+            // counters land in this agent's final snapshot and no ack
+            // outlives the run.
+            agent.DrainDeferredAcks();
             slot.profile_end = agent.profile().Snapshot();
             slot.counters_end = agent.counters();
             slot.saw_end = true;

@@ -343,6 +343,16 @@ TEST_F(LockManagerTest, HotTrackerMarksContendedHeads) {
   // Simulated queue work stretches the latched window so holders get
   // preempted mid-hold even on a single-CPU host — without it the critical
   // section is a few nanoseconds and contention can organically be zero.
+  //
+  // Even so, contention is a scheduling artifact: on a single-CPU host two
+  // threads are never *simultaneously* in the latched window, and a run
+  // where every preemption lands outside it legitimately observes zero.
+  // The assertion is only meaningful with real parallelism (ROADMAP test
+  // hygiene note), so gate it instead of being flaky by design.
+  if (std::thread::hardware_concurrency() < 2) {
+    GTEST_SKIP() << "needs >= 2 hardware threads for latch contention to be "
+                    "deterministic";
+  }
   LockManagerOptions o = FastOptions();
   o.sim_queue_work_ns = 2'000;
   LockManager lm(o);

@@ -61,6 +61,62 @@ TEST(LogTest, GroupCommitBatchesFlushes) {
   }
 }
 
+TEST(LogTest, DeferredAckSettlesWhenHorizonHardens) {
+  CounterSet counters;
+  ScopedCounterSet routed(&counters);
+  DeferredAckRing ring;
+  LogOptions o;
+  o.flush_interval_us = 100;
+  LogManager log(o);
+  const Lsn lsn = log.Append(1, LogRecordType::kCommit, nullptr, 0);
+  DeferredAck* ack = ring.Acquire();
+  ack->lsn = lsn;
+  ack->park_ns = 1;  // any nonzero epoch; settle_ns is stamped by the flusher
+  // Whether it parks or settles inline depends on flusher timing; either
+  // way the terminal state must be kDurable and Drain must not hang.
+  log.ParkDeferred(ack);
+  ring.Drain();
+  EXPECT_GE(log.durable_lsn(), lsn);
+  EXPECT_EQ(ring.outstanding(), 0u);
+  EXPECT_EQ(counters.Get(Counter::kTxnDepAbortedAcks), 0u);
+}
+
+TEST(LogTest, DeferredAckAlreadyDurableSettlesInline) {
+  LogManager log;
+  const Lsn lsn = log.Append(1, LogRecordType::kCommit, nullptr, 0);
+  log.WaitDurable(lsn);
+  DeferredAckRing ring;
+  DeferredAck* ack = ring.Acquire();
+  ack->lsn = lsn;
+  ack->park_ns = 1;
+  EXPECT_FALSE(log.ParkDeferred(ack)) << "durable horizon must not park";
+  EXPECT_EQ(ack->state.load(), DeferredAck::kDurable);
+  ring.Drain();
+}
+
+TEST(LogTest, DeferredAckLostWhenHorizonNeverHardens) {
+  // The dependency-abort edge of the state machine: an ack whose horizon
+  // is never published cannot settle as kDurable — the shutdown drain must
+  // settle it as kLost (reporting it committed would externalize state
+  // recovery cannot reproduce), and the ring reclaim must count it.
+  CounterSet counters;
+  ScopedCounterSet routed(&counters);
+  DeferredAckRing ring;
+  {
+    LogOptions o;
+    o.flush_interval_us = 50;
+    LogManager log(o);
+    DeferredAck* ack = ring.Acquire();
+    ack->lsn = 1u << 20;  // beyond anything ever appended
+    ack->park_ns = 1;
+    EXPECT_TRUE(log.ParkDeferred(ack));
+    // LogManager teardown: the flusher's shutdown drain settles the ack.
+  }
+  ring.Drain();
+  EXPECT_EQ(ring.outstanding(), 0u);
+  EXPECT_EQ(counters.Get(Counter::kTxnDepAbortedAcks), 1u);
+}
+
 TEST(LogTest, NonDurableModeSkipsWaiting) {
   LogOptions o;
   o.durable_commit = false;

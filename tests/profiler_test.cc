@@ -42,22 +42,28 @@ TEST(ProfilerTest, WorkAttributedToActiveComponent) {
 }
 
 TEST(ProfilerTest, NestedScopesShadow) {
-  ThreadProfile profile;
-  {
-    ScopedThreadProfile installed(&profile);
-    ScopedComponent outer(Component::kLockManager);
-    SpinForNanos(1'000'000);
-    {
-      ScopedComponent inner(Component::kLog);
-      SpinForNanos(1'000'000);
-    }
-    SpinForNanos(1'000'000);
-  }
-  const ProfileSnapshot snap = profile.Snapshot();
+  // The spins measure wall time, so an OS preemption inside the inner
+  // scope inflates kLog past the 2:1 margin. Retry the whole body per
+  // the ROADMAP test-hygiene note: preemption is transient, a genuine
+  // shadowing bug fails every attempt.
   const auto lm = static_cast<size_t>(Component::kLockManager);
   const auto log = static_cast<size_t>(Component::kLog);
-  EXPECT_GT(snap.work[lm], snap.work[log]);
-  EXPECT_GT(snap.work[log], 0u);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    ThreadProfile profile;
+    {
+      ScopedThreadProfile installed(&profile);
+      ScopedComponent outer(Component::kLockManager);
+      SpinForNanos(1'000'000);
+      {
+        ScopedComponent inner(Component::kLog);
+        SpinForNanos(1'000'000);
+      }
+      SpinForNanos(1'000'000);
+    }
+    const ProfileSnapshot snap = profile.Snapshot();
+    if (snap.work[lm] > snap.work[log] && snap.work[log] > 0u) return;
+  }
+  FAIL() << "inner scope never shadowed the outer component in 5 attempts";
 }
 
 TEST(ProfilerTest, LatchContentionAttributedAsContention) {

@@ -1160,5 +1160,108 @@ TEST(RecoveryConcurrencyTest, EarlyReleaseNeverReportsCommitBeforeDurable) {
       << "Commit() returned before its commit record was durable";
 }
 
+TEST(RecoveryConcurrencyTest, SpeculativeAckNeverSettlesBeforeCommitDurable) {
+  // The PR-4 gate above, extended to speculative reads: with
+  // speculative_reads on, Commit() returns BEFORE the commit record is
+  // durable — externalization moves to the deferred ack's settlement. The
+  // gate therefore moves with it: after DrainDeferredAcks() returns (every
+  // parked ack settled), every commit this agent was acknowledged for must
+  // be parseable from the device stream. Aborting writers are mixed in to
+  // cover the dependency-capture-after-abort path under load.
+  DurabilityAudit audit;
+  DatabaseOptions o = TestOptions();
+  o.txn.speculative_reads = true;
+  ASSERT_TRUE(o.txn.early_lock_release);
+  audit.Install(&o.log);
+  Database db(o);
+  const TableId t = db.CreateTable("t");
+
+  std::vector<Rid> rids(8);
+  {
+    auto setup = db.CreateAgent();
+    db.Begin(setup.get());
+    const uint64_t zero = 0;
+    for (auto& rid : rids) {
+      ASSERT_TRUE(db.Insert(setup.get(), t,
+                            {reinterpret_cast<const uint8_t*>(&zero),
+                             sizeof(zero)},
+                            &rid)
+                      .ok());
+    }
+    ASSERT_TRUE(db.Commit(setup.get()).ok());
+    setup->DrainDeferredAcks();
+  }
+
+  const int threads = ConcurrencyThreads();
+  const int txns = ConcurrencyBudget(200);
+  std::atomic<uint64_t> violations{0};
+  std::atomic<uint64_t> deferred_total{0};
+  std::mutex aborted_mu;
+  std::vector<uint64_t> aborted_ids;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      auto agent = db.CreateAgent(700 + w);
+      CounterSet counters;
+      ScopedCounterSet routed(&counters);
+      Rng rng(67 * (w + 3));
+      std::vector<uint64_t> acked;  // ids Commit() returned OK for
+      const auto check_settled = [&] {
+        agent->DrainDeferredAcks();
+        // Every acknowledged commit is settled now; all must be durable.
+        for (const uint64_t id : acked) {
+          if (!audit.HasDurableCommit(id)) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        acked.clear();
+      };
+      for (int i = 0; i < txns; ++i) {
+        db.Begin(agent.get());
+        const uint64_t id = agent->txn().id();
+        const Rid rid = rids[rng.Next() % rids.size()];
+        uint64_t v = 0;
+        if (!db.Read(agent.get(), t, rid, &v, sizeof(v)).ok()) {
+          db.Abort(agent.get());
+          continue;
+        }
+        v += 1;
+        if (!db.Update(agent.get(), t, rid,
+                       {reinterpret_cast<const uint8_t*>(&v), sizeof(v)})
+                 .ok()) {
+          db.Abort(agent.get());
+          continue;
+        }
+        if (rng.Next() % 8 == 0) {
+          // Deliberate abort: this txn's effects are undone and must never
+          // become a dependency (nor a durable commit).
+          db.Abort(agent.get());
+          std::lock_guard<std::mutex> g(aborted_mu);
+          aborted_ids.push_back(id);
+          continue;
+        }
+        ASSERT_TRUE(db.Commit(agent.get()).ok());
+        acked.push_back(id);
+        // Periodically quiesce and audit the acknowledged prefix.
+        if (rng.Next() % 16 == 0) check_settled();
+      }
+      check_settled();
+      deferred_total.fetch_add(counters.Get(Counter::kTxnDeferredAcks),
+                               std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : workers) th.join();
+  EXPECT_EQ(violations.load(), 0u)
+      << "a deferred ack settled before its commit record was durable";
+  // The run must actually have exercised the deferred path (the 50 us
+  // flush cadence guarantees fresh commit records are not yet durable at
+  // the fast-path check).
+  EXPECT_GT(deferred_total.load(), 0u);
+  for (const uint64_t id : aborted_ids) {
+    EXPECT_FALSE(audit.HasDurableCommit(id))
+        << "aborted txn " << id << " has a durable commit record";
+  }
+}
+
 }  // namespace
 }  // namespace slidb

@@ -381,6 +381,194 @@ TEST(TxnTest, ReadOnlyCommitSkipsLogAndDurableWait) {
   gate.Open();  // release the flusher for clean shutdown
 }
 
+/// FlushGate that also captures the device stream (bytes land only after
+/// the gate opens, exactly when they become durable), so tests can ask
+/// which commit records were parseable at a given instant.
+struct CapturingFlushGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::vector<uint8_t> bytes;
+
+  void Install(LogOptions* o) {
+    o->flush_sink = [this](const uint8_t* d, size_t n, Lsn) {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [this] { return open; });
+      bytes.insert(bytes.end(), d, d + n);
+    };
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  /// True iff a commit record of `txn_id` is parseable from the captured
+  /// durable stream (envelopes are looked through, like the scanner does).
+  bool HasDurableCommit(uint64_t txn_id) {
+    std::lock_guard<std::mutex> g(mu);
+    bool found = false;
+    size_t pos = 0;
+    LogRecordHeader hdr;
+    const uint8_t* payload = nullptr;
+    while (DecodeLogRecord(bytes.data(), bytes.size(), pos, 0, &hdr,
+                           &payload) == LogScanStatus::kOk) {
+      if (hdr.type == static_cast<uint8_t>(LogRecordType::kBatchSeal)) {
+        ForEachEnvelopeRecord(
+            payload, hdr.payload_len, hdr.lsn + sizeof(LogRecordHeader),
+            [&](const LogRecordHeader& inner, const uint8_t*) {
+              if (inner.type == static_cast<uint8_t>(LogRecordType::kCommit) &&
+                  inner.txn_id == txn_id) {
+                found = true;
+              }
+            });
+      } else if (hdr.type == static_cast<uint8_t>(LogRecordType::kCommit) &&
+                 hdr.txn_id == txn_id) {
+        found = true;
+      }
+      pos += sizeof(LogRecordHeader) + hdr.payload_len;
+    }
+    return found;
+  }
+};
+
+TEST(TxnTest, SpeculativeCommitsReturnEarlyAndSettleOnlyWhenDurable) {
+  // The speculative extension of the PR-4 durability gate. With
+  // speculative_reads on, BOTH commits below return while the flush is
+  // gated — the writer's ack (its own commit record) and the reader's ack
+  // (the writer's horizon it observed) park on the settlement queue. The
+  // gate then proves externalization still waits for durability: no ack
+  // settles before the writer's commit record is parseable from the
+  // captured device stream.
+  CapturingFlushGate gate;
+  LockManagerOptions lo;
+  lo.deadlock_interval_us = 500;
+  LockManager lock_manager(lo);
+  LogOptions logo;
+  logo.flush_interval_us = 50;
+  gate.Install(&logo);
+  LogManager log_manager(logo);
+  TxnOptions txo;
+  txo.early_lock_release = true;
+  txo.speculative_reads = true;
+  TransactionManager tm(&lock_manager, &log_manager, txo);
+
+  // Writer commits on THIS thread: under speculation Commit() must return
+  // with the flush still gated — no committer thread needed.
+  AgentContext writer(0);
+  CounterSet wc;
+  uint64_t writer_id = 0;
+  {
+    ScopedCounterSet routed(&wc);
+    tm.Begin(&writer);
+    writer_id = writer.txn().id();
+    ASSERT_TRUE(lock_manager
+                    .Lock(&writer.txn().lock_client(), LockId::Table(0, 1),
+                          LockMode::kX)
+                    .ok());
+    const uint8_t img[4] = {1, 2, 3, 4};
+    tm.LogHeapOp(&writer, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
+    ASSERT_TRUE(tm.Commit(&writer).ok());
+  }
+  EXPECT_EQ(wc.Get(Counter::kTxnDeferredAcks), 1u);
+  EXPECT_EQ(writer.deferred_acks().outstanding(), 1u);
+
+  // Speculative read: take the early-released lock, pick up the writer's
+  // horizon, and commit — also returns immediately, parking the second ack.
+  AgentContext reader(1);
+  CounterSet rc;
+  {
+    ScopedCounterSet routed(&rc);
+    tm.Begin(&reader);
+    ASSERT_TRUE(lock_manager
+                    .Lock(&reader.txn().lock_client(), LockId::Table(0, 1),
+                          LockMode::kS)
+                    .ok());
+    EXPECT_GT(reader.txn().lock_client().dep_lsn(), 0u)
+        << "the acquisition must capture the writer's durability horizon";
+    ASSERT_TRUE(tm.Commit(&reader).ok());
+  }
+  EXPECT_GE(rc.Get(Counter::kTxnSpecReads), 1u);
+  EXPECT_EQ(rc.Get(Counter::kTxnDeferredAcks), 1u);
+  EXPECT_EQ(reader.deferred_acks().outstanding(), 1u);
+
+  // THE gate: while the writer's record is stuck behind the closed sink,
+  // neither ack may settle — a drain must block.
+  std::atomic<bool> drained{false};
+  CounterSet dc;
+  std::thread drainer([&] {
+    ScopedCounterSet routed(&dc);
+    reader.DrainDeferredAcks();
+    writer.DrainDeferredAcks();
+    drained.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(drained.load(std::memory_order_acquire))
+      << "deferred ack settled before its dependency was durable";
+  EXPECT_FALSE(gate.HasDurableCommit(writer_id));
+
+  gate.Open();
+  drainer.join();
+  // Settlement implies the writer's commit record is parseable from the
+  // durable stream — the soundness invariant, restated for deferred acks.
+  EXPECT_TRUE(gate.HasDurableCommit(writer_id));
+  EXPECT_EQ(reader.deferred_acks().outstanding(), 0u);
+  EXPECT_EQ(writer.deferred_acks().outstanding(), 0u);
+  EXPECT_EQ(dc.Get(Counter::kTxnDepAbortedAcks), 0u);
+  EXPECT_GT(dc.Get(Counter::kTxnDepSettleNs), 0u);
+}
+
+TEST(TxnTest, WriterAbortAfterSpeculativeReadLeavesNoDependency) {
+  // An aborting writer stamps no durability horizon on the locks it drops
+  // (its effects were undone — there is nothing for a reader to depend
+  // on), so the speculative read path over its row must carry no
+  // dependency: the reader's commit returns with the flusher fully gated
+  // AND parks nothing.
+  FlushGate gate;
+  LockManagerOptions lo;
+  lo.deadlock_interval_us = 500;
+  LockManager lock_manager(lo);
+  LogOptions logo;
+  logo.flush_interval_us = 50;
+  gate.Install(&logo);
+  LogManager log_manager(logo);
+  TxnOptions txo;
+  txo.early_lock_release = true;
+  txo.speculative_reads = true;
+  TransactionManager tm(&lock_manager, &log_manager, txo);
+
+  AgentContext writer(0);
+  tm.Begin(&writer);
+  ASSERT_TRUE(lock_manager
+                  .Lock(&writer.txn().lock_client(), LockId::Table(0, 1),
+                        LockMode::kX)
+                  .ok());
+  const uint8_t img[4] = {7, 7, 7, 7};
+  tm.LogHeapOp(&writer, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
+  tm.Abort(&writer);
+  // Nothing of the aborted writer ever reached the log (staged redo was
+  // dropped), and its release stamped no commit LSN on the head.
+  EXPECT_EQ(log_manager.Stats().records, 0u);
+
+  AgentContext reader(1);
+  CounterSet rc;
+  {
+    ScopedCounterSet routed(&rc);
+    tm.Begin(&reader);
+    ASSERT_TRUE(lock_manager
+                    .Lock(&reader.txn().lock_client(), LockId::Table(0, 1),
+                          LockMode::kS)
+                    .ok());
+    EXPECT_EQ(reader.txn().lock_client().dep_lsn(), 0u);
+    ASSERT_TRUE(tm.Commit(&reader).ok());
+  }
+  EXPECT_EQ(rc.Get(Counter::kTxnSpecReads), 0u);
+  EXPECT_EQ(rc.Get(Counter::kTxnDeferredAcks), 0u);
+  EXPECT_EQ(reader.deferred_acks().outstanding(), 0u);
+  gate.Open();  // release the flusher for clean shutdown
+}
+
 TEST(TxnTest, LogBytesTracked) {
   TxnHarness h;
   AgentContext agent(0);
