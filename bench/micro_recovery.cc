@@ -11,12 +11,28 @@
 //   replay: full recovery — scan plus redo of every committed mutation
 //           into fresh storage (records/s, txns/s).
 //
+// Two further sections quantify the PR-8 robustness work:
+//
+//   bounded_restart: the same history with periodic fuzzy checkpoints —
+//           recovery anchors on the last complete checkpoint and redoes
+//           only the tail, so restart cost is bounded by checkpoint
+//           cadence instead of history length. Reports the redo fraction
+//           and the wall-clock speedup over the uncheckpointed replay.
+//   fsync_cadence: real-disk FileLogDevice append throughput at fsync
+//           cadence 1 (sync every flush), 8 (coalesced), and 0 (never —
+//           page-cache ceiling), the measured trade-off behind
+//           LogOptions::fsync_every_n_flushes.
+//
 // Emits a table on stdout and, with --json=FILE, BENCH_recovery.json:
 // {"bench":"micro_recovery","log_bytes":…,"records":…,
 //  "scan":[{"mb_per_s":…,"records_per_s":…}],
-//  "replay":[{"mb_per_s":…,"records_per_s":…,"txns_per_s":…}]}.
+//  "replay":[{"mb_per_s":…,"records_per_s":…,"txns_per_s":…}],
+//  "bounded_restart":{"redo_fraction":…,"speedup":…,…},
+//  "fsync_cadence":[{"cadence":…,"mb_per_s":…,"appends_per_s":…}]}.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -33,11 +49,16 @@ struct Workload {
   std::vector<uint8_t> stream;
   uint64_t records = 0;
   uint64_t committed = 0;
+  uint64_t redo_bytes = 0;   ///< bytes redo actually walks (anchor-aware)
+  uint64_t redo_start = 0;   ///< redo-start LSN of the last checkpoint
+  uint64_t checkpoints = 0;  ///< complete checkpoints in the stream
 };
 
 /// Run a TPC-B-style history through the real engine, capturing the exact
-/// durable byte stream the flusher emits.
-Workload BuildLog(uint64_t txns, uint64_t seed) {
+/// durable byte stream the flusher emits. `checkpoint_every` > 0 takes a
+/// fuzzy checkpoint every that-many transactions.
+Workload BuildLog(uint64_t txns, uint64_t seed,
+                  uint64_t checkpoint_every = 0) {
   InMemoryLogDevice device;
   Workload out;
   {
@@ -76,6 +97,9 @@ Workload BuildLog(uint64_t txns, uint64_t seed) {
     ++out.committed;
 
     for (uint64_t i = 0; i < txns; ++i) {
+      if (checkpoint_every != 0 && i != 0 && i % checkpoint_every == 0) {
+        if (!db.CheckpointNow().ok()) std::abort();
+      }
       db.Begin(agent.get());
       // One TPC-B-ish transaction: debit one account, credit another.
       for (int leg = 0; leg < 2; ++leg) {
@@ -97,7 +121,11 @@ Workload BuildLog(uint64_t txns, uint64_t seed) {
   }  // teardown drains the flusher into the device
   if (!device.ReadAll(&out.stream).ok()) std::abort();
   RecoveryManager rm(out.stream);
-  out.records = rm.Scan().records_scanned;
+  const RecoveryReport& r = rm.Scan();
+  out.records = r.records_scanned;
+  out.redo_bytes = r.redo_bytes;
+  out.redo_start = r.redo_start_lsn;
+  out.checkpoints = r.checkpoint_anchored ? 1 : 0;
   return out;
 }
 
@@ -105,6 +133,7 @@ struct Sample {
   double mb_per_s;
   double records_per_s;
   double txns_per_s;
+  double secs_per_iter;
   uint64_t iters;
 };
 
@@ -123,6 +152,7 @@ Sample MeasureScan(const Workload& w, double window_s) {
       static_cast<double>(NowMicros() - start) / 1'000'000.0;
   Sample s{};
   s.iters = iters;
+  s.secs_per_iter = secs / static_cast<double>(iters);
   s.mb_per_s = static_cast<double>(w.stream.size()) * iters / secs / 1e6;
   s.records_per_s = static_cast<double>(w.records) * iters / secs;
   s.txns_per_s = static_cast<double>(w.committed) * iters / secs;
@@ -134,6 +164,7 @@ Sample MeasureReplay(const Workload& w, double window_s) {
   const auto deadline =
       start + static_cast<uint64_t>(window_s * 1'000'000.0);
   uint64_t iters = 0;
+  uint64_t measured_us = 0;  // scan+redo only; target setup is not recovery
   do {
     Volume volume;
     BufferPoolOptions po;
@@ -144,17 +175,92 @@ Sample MeasureReplay(const Workload& w, double window_s) {
         catalog.AddTable("accounts", std::make_unique<HeapFile>(&pool));
     catalog.AddIndex(t, "by_id", IndexKind::kBTree, false);
     RecoveryManager rm(w.stream.data(), w.stream.size());
+    const uint64_t t0 = NowMicros();
     if (!rm.Replay(&catalog).ok()) std::abort();
+    measured_us += NowMicros() - t0;
     if (rm.report().records_replayed == 0) std::abort();
     ++iters;
   } while (NowMicros() < deadline);
-  const double secs =
-      static_cast<double>(NowMicros() - start) / 1'000'000.0;
+  const double secs = static_cast<double>(measured_us) / 1'000'000.0;
   Sample s{};
   s.iters = iters;
+  s.secs_per_iter = secs / static_cast<double>(iters);
   s.mb_per_s = static_cast<double>(w.stream.size()) * iters / secs / 1e6;
   s.records_per_s = static_cast<double>(w.records) * iters / secs;
   s.txns_per_s = static_cast<double>(w.committed) * iters / secs;
+  return s;
+}
+
+/// Bounded restart as the engine actually delivers it: segment recycling
+/// (SegmentedLogDevice::RecycleBelow) trims the on-disk log to the last
+/// checkpoint's redo-start, so a restart reads and scans ONLY the tail.
+/// This measures recovery over that trimmed stream — the base-LSN
+/// constructor is the same path Database::Recover takes after recycling.
+Sample MeasureAnchoredReplay(const Workload& w, double window_s) {
+  if (w.redo_start == 0) std::abort();  // caller guarantees a checkpoint
+  const std::vector<uint8_t> tail(w.stream.begin() + w.redo_start,
+                                  w.stream.end());
+  const uint64_t start = NowMicros();
+  const auto deadline =
+      start + static_cast<uint64_t>(window_s * 1'000'000.0);
+  uint64_t iters = 0;
+  uint64_t measured_us = 0;
+  do {
+    Volume volume;
+    BufferPoolOptions po;
+    po.num_frames = 4096;
+    BufferPool pool(&volume, po);
+    Catalog catalog;
+    const TableId t =
+        catalog.AddTable("accounts", std::make_unique<HeapFile>(&pool));
+    catalog.AddIndex(t, "by_id", IndexKind::kBTree, false);
+    RecoveryManager rm(tail.data(), tail.size(), w.redo_start);
+    const uint64_t t0 = NowMicros();
+    if (!rm.Replay(&catalog).ok()) std::abort();
+    measured_us += NowMicros() - t0;
+    if (!rm.report().checkpoint_anchored) std::abort();
+    ++iters;
+  } while (NowMicros() < deadline);
+  const double secs = static_cast<double>(measured_us) / 1'000'000.0;
+  Sample s{};
+  s.iters = iters;
+  s.secs_per_iter = secs / static_cast<double>(iters);
+  s.mb_per_s = static_cast<double>(tail.size()) * iters / secs / 1e6;
+  s.records_per_s = static_cast<double>(w.records) * iters / secs;
+  s.txns_per_s = static_cast<double>(w.committed) * iters / secs;
+  return s;
+}
+
+struct FsyncSample {
+  uint32_t cadence;
+  double mb_per_s;
+  double appends_per_s;
+};
+
+/// Real-disk append throughput through a FileLogDevice at the given fsync
+/// cadence. Each append models one flusher pass (~4 KiB of log).
+FsyncSample MeasureFsyncCadence(uint32_t cadence, uint64_t appends) {
+  const std::string path = "slidb_bench_fsync.log";
+  std::remove(path.c_str());
+  constexpr size_t kChunk = 4096;
+  std::vector<uint8_t> buf(kChunk, 0xA5);
+  const uint64_t start = NowMicros();
+  {
+    std::unique_ptr<FileLogDevice> dev;
+    if (!FileLogDevice::Open(path, cadence, &dev).ok()) std::abort();
+    Lsn lsn = 0;
+    for (uint64_t i = 0; i < appends; ++i) {
+      if (!dev->Append(buf.data(), buf.size(), lsn).ok()) std::abort();
+      lsn += buf.size();
+    }
+  }  // destructor syncs any unsynced tail (cadence > 1)
+  const double secs =
+      static_cast<double>(NowMicros() - start) / 1'000'000.0;
+  std::remove(path.c_str());
+  FsyncSample s{};
+  s.cadence = cadence;
+  s.mb_per_s = static_cast<double>(appends * kChunk) / secs / 1e6;
+  s.appends_per_s = static_cast<double>(appends) / secs;
   return s;
 }
 
@@ -171,6 +277,26 @@ int Main(int argc, char** argv) {
   const Sample scan = MeasureScan(w, window);
   const Sample replay = MeasureReplay(w, window);
 
+  // Bounded restart: the same history, checkpointed every txns/8
+  // transactions. Recovery anchors on the last complete checkpoint, so the
+  // redo pass walks only the post-checkpoint tail.
+  const uint64_t ckpt_every = std::max<uint64_t>(1, txns / 8);
+  const Workload wc = BuildLog(txns, args.seed, ckpt_every);
+  if (wc.checkpoints == 0) {
+    std::fprintf(stderr, "checkpointed log failed to anchor\n");
+    return 1;
+  }
+  const Sample ckpt_replay = MeasureAnchoredReplay(wc, window);
+  const double redo_fraction =
+      static_cast<double>(wc.redo_bytes) / static_cast<double>(wc.stream.size());
+  const double speedup = replay.secs_per_iter / ckpt_replay.secs_per_iter;
+  std::printf(
+      "# bounded restart: checkpoint every %llu txns, redo %llu of %zu "
+      "bytes (%.1f%%), restart %.2fx faster than full replay\n",
+      static_cast<unsigned long long>(ckpt_every),
+      static_cast<unsigned long long>(wc.redo_bytes), wc.stream.size(),
+      100.0 * redo_fraction, speedup);
+
   TablePrinter table({"phase", "MB/s", "records/s", "txns/s", "iters"});
   table.Row({"scan", Fmt("%.1f", scan.mb_per_s),
              Fmt("%.0f", scan.records_per_s), "-",
@@ -179,6 +305,23 @@ int Main(int argc, char** argv) {
              Fmt("%.0f", replay.records_per_s),
              Fmt("%.0f", replay.txns_per_s),
              Fmt("%llu", static_cast<unsigned long long>(replay.iters))});
+  table.Row({"ckpt-replay", Fmt("%.1f", ckpt_replay.mb_per_s),
+             Fmt("%.0f", ckpt_replay.records_per_s),
+             Fmt("%.0f", ckpt_replay.txns_per_s),
+             Fmt("%llu", static_cast<unsigned long long>(ckpt_replay.iters))});
+
+  // Real-disk fsync trade-off: cadence 1 is the durability contract,
+  // 8 coalesces syncs, 0 is the page-cache ceiling.
+  const uint64_t fsync_appends = args.quick ? 256 : 2048;
+  std::vector<FsyncSample> cadences;
+  for (const uint32_t c : {1u, 8u, 0u}) {
+    cadences.push_back(MeasureFsyncCadence(c, fsync_appends));
+  }
+  TablePrinter ftable({"fsync-cadence", "MB/s", "appends/s"});
+  for (const FsyncSample& s : cadences) {
+    ftable.Row({s.cadence == 0 ? "never" : Fmt("%u", s.cadence),
+                Fmt("%.1f", s.mb_per_s), Fmt("%.0f", s.appends_per_s)});
+  }
 
   JsonWriter json;
   json.BeginObject();
@@ -201,6 +344,24 @@ int Main(int argc, char** argv) {
   json.Key("txns_per_s").Value(replay.txns_per_s);
   json.Key("iters").Value(replay.iters);
   json.EndObject();
+  json.EndArray();
+  json.Key("bounded_restart").BeginObject();
+  json.Key("checkpoint_every_txns").Value(ckpt_every);
+  json.Key("log_bytes").Value(static_cast<uint64_t>(wc.stream.size()));
+  json.Key("redo_bytes").Value(wc.redo_bytes);
+  json.Key("redo_fraction").Value(redo_fraction);
+  json.Key("full_replay_s").Value(replay.secs_per_iter);
+  json.Key("checkpointed_replay_s").Value(ckpt_replay.secs_per_iter);
+  json.Key("speedup").Value(speedup);
+  json.EndObject();
+  json.Key("fsync_cadence").BeginArray();
+  for (const FsyncSample& s : cadences) {
+    json.BeginObject();
+    json.Key("cadence").Value(static_cast<uint64_t>(s.cadence));
+    json.Key("mb_per_s").Value(s.mb_per_s);
+    json.Key("appends_per_s").Value(s.appends_per_s);
+    json.EndObject();
+  }
   json.EndArray();
   json.EndObject();
   if (!args.json_path.empty()) {

@@ -4,17 +4,28 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/engine/checkpointer.h"
+
 namespace slidb {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {
   volume_ = std::make_unique<Volume>();
   buffer_pool_ = std::make_unique<BufferPool>(volume_.get(), options_.buffer);
   if (!options_.log_path.empty() && !options_.log.flush_sink) {
-    std::unique_ptr<FileLogDevice> device;
-    const Status st = FileLogDevice::Open(
-        options_.log_path,
-        options_.log_sync_each_flush ? options_.log.fsync_every_n_flushes : 0,
-        &device);
+    const uint32_t cadence =
+        options_.log_sync_each_flush ? options_.log.fsync_every_n_flushes : 0;
+    Status st;
+    if (options_.log_segment_bytes != 0) {
+      std::unique_ptr<SegmentedLogDevice> device;
+      st = SegmentedLogDevice::Open(options_.log_path, cadence,
+                                    options_.log_segment_bytes, &device);
+      seg_device_ = device.get();
+      log_device_ = std::move(device);
+    } else {
+      std::unique_ptr<FileLogDevice> device;
+      st = FileLogDevice::Open(options_.log_path, cadence, &device);
+      log_device_ = std::move(device);
+    }
     if (!st.ok()) {
       // Fail-stop: the caller configured a durable log; silently running
       // sink-less would ack commits that exist nowhere but RAM.
@@ -22,44 +33,87 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
                    options_.log_path.c_str(), st.ToString().c_str());
       std::abort();
     }
-    log_device_ = std::move(device);
     AttachLogDevice(&options_.log, log_device_.get());
   }
   log_manager_ = std::make_unique<LogManager>(options_.log);
   lock_manager_ = std::make_unique<LockManager>(options_.lock);
   txn_manager_ = std::make_unique<TransactionManager>(
       lock_manager_.get(), log_manager_.get(), options_.txn);
+  checkpointer_ = std::make_unique<Checkpointer>(
+      this, CheckpointerOptions{options_.checkpoint_interval_ms});
+  checkpointer_->Start();
+}
+
+Database::~Database() {
+  // Member destruction order handles the rest; stop the background thread
+  // explicitly first so no pass is mid-flight while managers tear down.
+  if (checkpointer_) checkpointer_->Stop();
+}
+
+Status Database::CheckpointNow(Lsn* redo_start_out) {
+  return checkpointer_->CheckpointNow(redo_start_out);
 }
 
 Status Database::Recover(const std::string& path, RecoveryReport* report) {
   std::vector<uint8_t> stream;
-  SLIDB_RETURN_NOT_OK(FileLogDevice::ReadFile(path, &stream));
-  return RecoverFromStream(std::move(stream), report);
+  Lsn base = 0;
+  if (options_.log_segment_bytes != 0) {
+    SLIDB_RETURN_NOT_OK(SegmentedLogDevice::ReadLog(path, &stream, &base));
+  } else {
+    SLIDB_RETURN_NOT_OK(FileLogDevice::ReadFile(path, &stream));
+  }
+  return RecoverFromStream(std::move(stream), report, base);
 }
 
 Status Database::RecoverFromStream(std::vector<uint8_t> stream,
-                                   RecoveryReport* report) {
-  RecoveryManager recovery(std::move(stream));
+                                   RecoveryReport* report, Lsn base_lsn) {
+  RecoveryManager recovery(std::move(stream), base_lsn);
   recovery.Scan();
-  const Status st = recovery.Replay(&catalog_);
+  // Losers are rolled back through their logged before-images; each undo
+  // step is re-logged into the NEW log as a compensation record (kClr), so
+  // a crash DURING undo replays the already-compensated prefix and then
+  // re-runs the remaining undo — idempotent because before-image
+  // restoration is absolute, not incremental.
+  const ClrSink sink = [this](uint64_t loser, LogRecordType redo_type,
+                              const uint8_t* payload, uint32_t len,
+                              Lsn undo_of_lsn) {
+    std::vector<uint8_t> buf(sizeof(ClrPayload) + len);
+    ClrPayload clr{};
+    clr.redo_type = static_cast<uint8_t>(redo_type);
+    clr.undo_of_lsn = undo_of_lsn;
+    std::memcpy(buf.data(), &clr, sizeof(clr));
+    if (len != 0) std::memcpy(buf.data() + sizeof(clr), payload, len);
+    log_manager_->Append(loser, LogRecordType::kClr, buf.data(),
+                         static_cast<uint32_t>(buf.size()));
+  };
+  const Status st = recovery.Replay(&catalog_, sink);
   txn_manager_->EnsureNextTxnIdAbove(recovery.report().max_txn_id);
-  if (st.ok() && recovery.report().records_replayed > 0) {
-    // Make the new WAL self-contained: the replayed state exists nowhere in
-    // it (redo was applied directly to storage), so without this snapshot a
-    // SECOND crash would recover only post-recovery transactions. Re-log
-    // every committed redo record under one synthetic snapshot transaction
-    // and harden it before traffic starts.
-    const uint64_t snap_txn = recovery.report().max_txn_id + 1;
-    recovery.ForEachCommittedRedo(
-        [&](const LogRecordHeader& hdr, const uint8_t* payload) {
-          log_manager_->Append(snap_txn,
-                               static_cast<LogRecordType>(hdr.type), payload,
-                               hdr.payload_len);
-        });
-    const Lsn end =
-        log_manager_->Append(snap_txn, LogRecordType::kCommit, nullptr, 0);
-    log_manager_->WaitDurable(end);
-    txn_manager_->EnsureNextTxnIdAbove(snap_txn);
+  if (st.ok()) {
+    // Close each rolled-back loser with a kAbort in the new log: if we
+    // crash again, the next recovery sees them as durably aborted and
+    // skips their records (their CLRs already restored the state).
+    Lsn last = 0;
+    for (const uint64_t loser : recovery.LoserTxns()) {
+      last = log_manager_->Append(loser, LogRecordType::kAbort, nullptr, 0);
+    }
+    if (last != 0) log_manager_->WaitDurable(last);
+    if (recovery.report().records_replayed > 0 ||
+        recovery.report().losers_rolled_back > 0 || seg_device_ != nullptr) {
+      // OPENING CHECKPOINT: the recovered state exists nowhere in the new
+      // log (redo was applied directly to storage), so without an anchor a
+      // SECOND crash would recover only post-recovery transactions. A
+      // checkpoint pass images the recovered state and hardens it before
+      // traffic starts. Segmented mode runs it even over an empty stream so
+      // the new generation materializes on the flusher thread before it is
+      // marked authoritative below.
+      SLIDB_RETURN_NOT_OK(checkpointer_->CheckpointNow());
+    }
+    if (seg_device_ != nullptr) {
+      // Flip the new generation live (and drop the old one) only now that
+      // it provably carries the recovered state. Also correct for an empty
+      // previous log: there is nothing to lose.
+      SLIDB_RETURN_NOT_OK(seg_device_->MarkGenerationAuthoritative());
+    }
   }
   if (report != nullptr) *report = recovery.report();
   return st;
@@ -121,7 +175,8 @@ Status Database::Insert(AgentContext* agent, TableId table,
     heap->Delete(*rid);
     return lock_st;
   }
-  txn_manager_->LogHeapOp(agent, LogRecordType::kInsert, table, *rid, rec);
+  txn_manager_->LogHeapOp(agent, LogRecordType::kInsert, table, *rid,
+                          /*before=*/{}, rec);
   const Rid undo_rid = *rid;
   agent->txn().AddUndo([heap, undo_rid] { heap->Delete(undo_rid); });
   return Status::OK();
@@ -143,11 +198,14 @@ Status Database::Update(AgentContext* agent, TableId table, Rid rid,
                         std::span<const uint8_t> rec) {
   SLIDB_RETURN_NOT_OK(LockRow(agent, table, rid, LockMode::kX));
   HeapFile* heap = catalog_.table(table).heap.get();
-  // Capture the before-image for undo.
+  // Capture the before-image: it feeds the in-memory undo lambda AND rides
+  // the redo record, so the restart undo pass can roll a loser back.
   std::string before;
   SLIDB_RETURN_NOT_OK(heap->Read(rid, &before));
   SLIDB_RETURN_NOT_OK(heap->Update(rid, rec));
-  txn_manager_->LogHeapOp(agent, LogRecordType::kUpdate, table, rid, rec);
+  txn_manager_->LogHeapOp(
+      agent, LogRecordType::kUpdate, table, rid,
+      {reinterpret_cast<const uint8_t*>(before.data()), before.size()}, rec);
   agent->txn().AddUndo([heap, rid, before = std::move(before)] {
     heap->Update(rid, {reinterpret_cast<const uint8_t*>(before.data()),
                        before.size()});
@@ -161,7 +219,10 @@ Status Database::Delete(AgentContext* agent, TableId table, Rid rid) {
   std::string before;
   SLIDB_RETURN_NOT_OK(heap->Read(rid, &before));
   SLIDB_RETURN_NOT_OK(heap->Delete(rid));
-  txn_manager_->LogHeapOp(agent, LogRecordType::kDelete, table, rid, {});
+  txn_manager_->LogHeapOp(
+      agent, LogRecordType::kDelete, table, rid,
+      {reinterpret_cast<const uint8_t*>(before.data()), before.size()},
+      /*image=*/{});
   agent->txn().AddUndo([this, table, rid, before = std::move(before)] {
     // Restore at the same RID so surviving index entries stay valid.
     HeapFile* h = catalog_.table(table).heap.get();

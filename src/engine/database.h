@@ -42,12 +42,23 @@ struct DatabaseOptions {
   /// cadence is LogOptions::fsync_every_n_flushes (default every flush).
   /// Off disables fsync entirely, trading durability for bench throughput.
   bool log_sync_each_flush = true;
+  /// Nonzero: the log at log_path is a SegmentedLogDevice with this
+  /// per-segment payload capacity — rotated fixed-size segment files,
+  /// crash-safe generations, and checkpoint-driven recycling, so log disk
+  /// is bounded by checkpoint cadence. Zero (default): single-file
+  /// FileLogDevice with deferred truncation.
+  uint64_t log_segment_bytes = 0;
+  /// Nonzero: run a background fuzzy checkpointer at this cadence.
+  /// CheckpointNow() works either way.
+  uint32_t checkpoint_interval_ms = 0;
 };
+
+class Checkpointer;  // engine/checkpointer.h
 
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
-  ~Database() = default;
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -72,23 +83,39 @@ class Database {
   // Call on a freshly-constructed database after re-creating the schema
   // (same CreateTable/CreateIndex order as the crashed run) and before any
   // transactions: redo records address tables and indexes by catalog
-  // position, and replay assumes empty storage.
+  // position. Replay repeats history (redo from the last complete
+  // checkpoint, or the stream base) and then rolls losers back through
+  // their logged before-images, emitting compensation records (kClr) and a
+  // closing kAbort per loser into the NEW log — so storage may be empty
+  // (rebuild) or warm (in-place restart with stolen dirty state).
   //
   // Restart-in-place is supported: constructing with the SAME log_path as
-  // the crashed run is safe, because the file device defers truncation to
-  // its first write and recovery re-logs the recovered state into the new
-  // WAL as a durable snapshot before returning — the new log is
-  // self-contained across a second crash. (A crash *during* the snapshot
-  // write itself still loses data; write-new-then-rename rotation is a
-  // ROADMAP follow-up.)
+  // the crashed run is safe. After replay an OPENING CHECKPOINT is written
+  // and hardened, making the new log self-contained across a second crash.
+  // In segmented mode (log_segment_bytes != 0) the window is fully closed:
+  // the new generation stays tentative — and the old one stays the source
+  // of truth — until the opening checkpoint is durable
+  // (SegmentedLogDevice::MarkGenerationAuthoritative). In single-file mode
+  // a crash *during* the opening checkpoint still loses data (the old file
+  // is overwritten in place); use segments where that matters.
 
-  /// Recover from a durable log file written via DatabaseOptions::log_path.
+  /// Recover from the durable log written via DatabaseOptions::log_path
+  /// (single file or segmented generation, per log_segment_bytes).
   Status Recover(const std::string& path, RecoveryReport* report = nullptr);
 
   /// Recover from an already-read durable byte stream (crash-test harness
-  /// path). Also restarts the txn-id space above every recovered id.
+  /// path); `base_lsn` is the log offset of its first byte (nonzero when
+  /// earlier segments were recycled). Also restarts the txn-id space above
+  /// every recovered id.
   Status RecoverFromStream(std::vector<uint8_t> stream,
-                           RecoveryReport* report = nullptr);
+                           RecoveryReport* report = nullptr,
+                           Lsn base_lsn = 0);
+
+  // ---- checkpointing ----
+
+  /// Run one synchronous fuzzy checkpoint pass (see engine/checkpointer.h).
+  Status CheckpointNow(Lsn* redo_start_out = nullptr);
+  Checkpointer& checkpointer() { return *checkpointer_; }
 
   // ---- transactional row operations (2PL) ----
 
@@ -161,10 +188,14 @@ class Database {
   // Declared before log_manager_: the flusher drains into the device's
   // sink during LogManager teardown, so the device must be destroyed after.
   std::unique_ptr<LogDevice> log_device_;
+  SegmentedLogDevice* seg_device_ = nullptr;  ///< log_device_ downcast, or null
   std::unique_ptr<LogManager> log_manager_;
   std::unique_ptr<LockManager> lock_manager_;
   std::unique_ptr<TransactionManager> txn_manager_;
   Catalog catalog_;
+  // Declared last: destroyed first, so its background thread stops before
+  // the managers it appends through are torn down.
+  std::unique_ptr<Checkpointer> checkpointer_;
   std::atomic<uint64_t> agent_ids_{0};
 };
 

@@ -43,16 +43,25 @@ namespace slidb {
 using Lsn = uint64_t;
 
 enum class LogRecordType : uint8_t {
-  kUpdate = 0,   ///< heap after-image (HeapRedoPayload + image bytes)
+  kUpdate = 0,   ///< heap before+after image (HeapRedoPayload + images)
   kInsert,       ///< heap after-image (HeapRedoPayload + image bytes)
-  kDelete,       ///< heap delete (HeapRedoPayload, no image)
+  kDelete,       ///< heap delete (HeapRedoPayload + before-image)
   kCommit,       ///< transaction commit point (no payload)
-  kAbort,        ///< transaction abort (no payload; undo is not logged)
+  kAbort,        ///< transaction abort (no payload; undo ran in memory)
   kBegin,        ///< transaction begin (no payload)
   kIndexInsert,  ///< index entry add (IndexRedoPayload)
   kIndexRemove,  ///< index entry remove (IndexRedoPayload)
   kBatchSeal,    ///< envelope: payload is a run of small records sealed
                  ///< under this record's single CRC (see ForEachEnvelopeRecord)
+  kCheckpointBegin,  ///< fuzzy checkpoint opens (CheckpointBeginPayload +
+                     ///< active-txn table)
+  kCheckpointEnd,    ///< fuzzy checkpoint complete (CheckpointEndPayload);
+                     ///< recovery may start at the paired begin's scan LSN
+  kCheckpointImage,  ///< one row's committed image (HeapRedoPayload form,
+                     ///< before_len == 0), replayed unconditionally
+  kCheckpointIndexImage,  ///< one index entry's image (IndexRedoPayload)
+  kClr,  ///< compensation: redo-only undo of one loser record
+         ///< (ClrPayload + the inner redo payload); never itself undone
 };
 
 inline const char* LogRecordTypeName(LogRecordType t) {
@@ -66,11 +75,19 @@ inline const char* LogRecordTypeName(LogRecordType t) {
     case LogRecordType::kIndexInsert: return "index_insert";
     case LogRecordType::kIndexRemove: return "index_remove";
     case LogRecordType::kBatchSeal: return "batch_seal";
+    case LogRecordType::kCheckpointBegin: return "checkpoint_begin";
+    case LogRecordType::kCheckpointEnd: return "checkpoint_end";
+    case LogRecordType::kCheckpointImage: return "checkpoint_image";
+    case LogRecordType::kCheckpointIndexImage: return "checkpoint_index_image";
+    case LogRecordType::kClr: return "clr";
   }
   return "?";
 }
 
-inline constexpr uint8_t kLogFormatVersion = 1;
+/// Version 2: heap redo payloads grew a before-image (undo information) and
+/// the checkpoint/CLR record types joined the format. Version-1 streams are
+/// rejected by scan — the format is in-tree only, no migration path needed.
+inline constexpr uint8_t kLogFormatVersion = 2;
 
 struct LogRecordHeader {
   uint32_t crc;          ///< CRC32C over header bytes [4, 32) + payload
@@ -114,19 +131,27 @@ inline LogRecordHeader MakeLogRecordHeader(uint64_t txn_id, LogRecordType type,
 // Payload structs are memcpy'd onto the wire (the stream has no alignment
 // guarantees) and must stay trivially copyable with explicit padding.
 
-/// kInsert / kUpdate / kDelete: the row address; for insert/update the
-/// after-image follows immediately (payload_len - sizeof tells its size).
+/// kInsert / kUpdate / kDelete / kCheckpointImage: the row address, then
+/// `before_len` bytes of before-image (undo information), then the
+/// after-image (payload_len - sizeof - before_len bytes). kInsert and
+/// kCheckpointImage carry no before-image; kDelete carries no after-image;
+/// kUpdate carries both. The before-image is what the restart undo pass
+/// restores when the record's transaction turns out to be a loser.
 struct HeapRedoPayload {
   uint32_t table;   ///< TableId (catalog position; schema is re-created
                     ///< identically before recovery)
   uint16_t slot;
   uint8_t pad[2];   ///< zero
   uint64_t page_no;
+  uint32_t before_len;  ///< before-image bytes following this struct
+  uint8_t pad2[4];      ///< zero
 };
-static_assert(sizeof(HeapRedoPayload) == 16);
+static_assert(sizeof(HeapRedoPayload) == 24);
 
-/// kIndexInsert / kIndexRemove: one index entry. The operation is the
-/// record type; key/value identify the entry in either index kind.
+/// kIndexInsert / kIndexRemove / kCheckpointIndexImage: one index entry.
+/// The operation is the record type; key/value identify the entry in either
+/// index kind. Index undo is logical (insert undoes as remove and vice
+/// versa), so no separate before-image is needed.
 struct IndexRedoPayload {
   uint32_t index;   ///< IndexId (catalog position)
   uint8_t pad[4];   ///< zero
@@ -134,6 +159,63 @@ struct IndexRedoPayload {
   uint64_t value;
 };
 static_assert(sizeof(IndexRedoPayload) == 24);
+
+// ---- checkpoint and compensation payloads -----------------------------------
+
+/// One active-transaction-table entry in a kCheckpointBegin payload.
+struct CheckpointTxnEntry {
+  uint64_t txn_id;
+  Lsn first_lsn;  ///< LSN of the txn's first published record
+};
+static_assert(sizeof(CheckpointTxnEntry) == 16);
+
+/// Sentinel for "no constraining LSN" (e.g. a transaction that has not
+/// published any record yet).
+inline constexpr Lsn kLsnNone = ~0ULL;
+
+/// kCheckpointBegin: pure marker opening a fuzzy checkpoint. Carries no
+/// payload; its LSN is the anchor the paired kCheckpointEnd names.
+struct CheckpointBeginPayload {
+  uint64_t reserved;  ///< zero (room for future fields)
+};
+static_assert(sizeof(CheckpointBeginPayload) == 8);
+
+/// kCheckpointEnd: pairs with the kCheckpointBegin at `begin_lsn`;
+/// `active_txns` CheckpointTxnEntry records follow. A checkpoint is
+/// complete — and usable as a recovery anchor — only when both records sit
+/// inside the valid prefix.
+///
+/// The active-txn table is snapshotted AFTER the begin record is appended:
+/// any transaction with a published record below begin_lsn that is still
+/// uncommitted when the end record is built must appear here (one that
+/// committed or aborted in between has its outcome record below the end
+/// record, so it can never be a loser of a recovery anchored at this
+/// checkpoint). `redo_start_lsn` = min(begin_lsn, every entry's first_lsn):
+/// a loser that was already running when the checkpoint opened may have
+/// published records (watermark partial publishes) the undo pass needs
+/// before-images from, so redo must scan from there.
+struct CheckpointEndPayload {
+  Lsn begin_lsn;       ///< LSN of the matching kCheckpointBegin record
+  Lsn redo_start_lsn;  ///< min(begin_lsn, active first LSNs): scan from here
+  uint64_t image_records;  ///< heap + index images written (observability)
+  uint32_t active_txns;    ///< CheckpointTxnEntry records following
+  uint8_t pad[4];          ///< zero
+};
+static_assert(sizeof(CheckpointEndPayload) == 32);
+
+/// kClr: a compensation record written while rolling back a loser. The
+/// inner redo payload (HeapRedoPayload or IndexRedoPayload form, with
+/// before_len == 0) follows and is applied exactly like the corresponding
+/// `redo_type` record. CLRs are redo-only: the undo pass never undoes
+/// them, so a crash *during* undo replays the partial rollback and then
+/// re-runs the full undo idempotently (restoring absolute before-images
+/// converges regardless of how much compensation already applied).
+struct ClrPayload {
+  uint8_t redo_type;  ///< LogRecordType of the inner redo payload
+  uint8_t pad[7];     ///< zero
+  Lsn undo_of_lsn;    ///< LSN of the loser record this compensates
+};
+static_assert(sizeof(ClrPayload) == 16);
 
 // ---- stream scanning --------------------------------------------------------
 

@@ -24,18 +24,63 @@ RecoveryManager::RecoveryManager(const uint8_t* data, size_t size,
   report_.valid_prefix_end = base_lsn;
 }
 
-void RecoveryManager::NoteScanned(const LogRecordHeader& hdr) {
+void RecoveryManager::NoteScanned(const LogRecordHeader& hdr,
+                                  const uint8_t* payload) {
   report_.records_scanned++;
   report_.max_txn_id = std::max(report_.max_txn_id, hdr.txn_id);
-  seen_.insert(hdr.txn_id);
   switch (static_cast<LogRecordType>(hdr.type)) {
     case LogRecordType::kCommit:
+      seen_.insert(hdr.txn_id);
       committed_.insert(hdr.txn_id);
       break;
     case LogRecordType::kAbort:
+      seen_.insert(hdr.txn_id);
+      aborted_.insert(hdr.txn_id);
       report_.aborted_txns++;
       break;
+    case LogRecordType::kCheckpointBegin: {
+      CheckpointAnchor anchor;
+      anchor.begin_lsn = hdr.lsn;
+      anchor.redo_start = hdr.lsn;
+      checkpoints_[hdr.lsn] = anchor;
+      break;
+    }
+    case LogRecordType::kCheckpointEnd: {
+      if (hdr.payload_len < sizeof(CheckpointEndPayload)) break;
+      CheckpointEndPayload end;
+      std::memcpy(&end, payload, sizeof(end));
+      if (sizeof(CheckpointEndPayload) +
+              uint64_t{end.active_txns} * sizeof(CheckpointTxnEntry) >
+          hdr.payload_len) {
+        break;  // truncated ATT: not a usable anchor
+      }
+      auto it = checkpoints_.find(end.begin_lsn);
+      if (it == checkpoints_.end()) break;
+      // Redo must start early enough to cover every active txn's published
+      // records (the undo pass needs their before-images). Recompute from
+      // the active-txn table rather than trusting redo_start_lsn alone, and
+      // clamp to the stream base: recycling never discards segments a
+      // complete checkpoint still needs, so a first_lsn below base can only
+      // come from an anchor that was superseded anyway.
+      Lsn redo_start = std::min(it->second.begin_lsn, end.redo_start_lsn);
+      const uint8_t* entry_bytes = payload + sizeof(CheckpointEndPayload);
+      for (uint32_t i = 0; i < end.active_txns; ++i) {
+        CheckpointTxnEntry entry;
+        std::memcpy(&entry, entry_bytes + i * sizeof(entry), sizeof(entry));
+        if (entry.first_lsn != kLsnNone) {
+          redo_start = std::min(redo_start, entry.first_lsn);
+        }
+      }
+      it->second.redo_start = std::max(base_lsn_, redo_start);
+      it->second.complete = true;
+      last_complete_ = it->second;  // scan order: later ends win
+      break;
+    }
+    case LogRecordType::kCheckpointImage:
+    case LogRecordType::kCheckpointIndexImage:
+      break;  // checkpointer-owned; no txn bookkeeping
     default:
+      seen_.insert(hdr.txn_id);
       break;
   }
 }
@@ -66,14 +111,14 @@ const RecoveryReport& RecoveryManager::Scan() {
                                 })) {
         (void)ForEachEnvelopeRecord(
             payload, hdr.payload_len, interior_base,
-            [&](const LogRecordHeader& inner, const uint8_t*) {
-              NoteScanned(inner);
+            [&](const LogRecordHeader& inner, const uint8_t* inner_payload) {
+              NoteScanned(inner, inner_payload);
             });
       } else {
         st = LogScanStatus::kBadEnvelope;
       }
     } else if (st == LogScanStatus::kOk) {
-      NoteScanned(hdr);
+      NoteScanned(hdr, payload);
     }
     if (st != LogScanStatus::kOk) {
       report_.tail_status = st;
@@ -95,65 +140,29 @@ const RecoveryReport& RecoveryManager::Scan() {
 
   report_.committed_txns = committed_.size();
   report_.uncommitted_txns = seen_.size() - committed_.size();
+  if (last_complete_.complete) {
+    report_.checkpoint_anchored = true;
+    report_.checkpoint_begin_lsn = last_complete_.begin_lsn;
+    report_.redo_start_lsn = last_complete_.redo_start;
+    CountEvent(Counter::kRecoveryCheckpointAnchored);
+  } else {
+    report_.redo_start_lsn = base_lsn_;
+  }
+  report_.redo_bytes = report_.valid_prefix_end - report_.redo_start_lsn;
   CountEvent(Counter::kRecoveryRecordsScanned, report_.records_scanned);
   CountEvent(Counter::kRecoveryCommittedTxns, report_.committed_txns);
   return report_;
 }
 
-Status RecoveryManager::ApplyRedo(Catalog* catalog,
-                                  const LogRecordHeader& hdr,
-                                  const uint8_t* payload) {
-  const auto type = static_cast<LogRecordType>(hdr.type);
-  switch (type) {
-    case LogRecordType::kInsert:
-    case LogRecordType::kUpdate:
-    case LogRecordType::kDelete: {
-      if (hdr.payload_len < sizeof(HeapRedoPayload)) {
-        return Status::Corruption("heap redo payload too short");
-      }
-      HeapRedoPayload row;
-      std::memcpy(&row, payload, sizeof(row));
-      if (row.table >= catalog->num_tables()) {
-        return Status::Corruption("heap redo names unknown table");
-      }
-      HeapFile* heap = catalog->table(row.table).heap.get();
-      const Rid rid{row.page_no, row.slot};
-      const std::span<const uint8_t> image{
-          payload + sizeof(HeapRedoPayload),
-          hdr.payload_len - sizeof(HeapRedoPayload)};
-      if (type == LogRecordType::kInsert) return heap->RedoInsert(rid, image);
-      if (type == LogRecordType::kUpdate) return heap->RedoUpdate(rid, image);
-      return heap->RedoDelete(rid);
+std::vector<uint64_t> RecoveryManager::LoserTxns() const {
+  std::vector<uint64_t> losers;
+  for (uint64_t id : seen_) {
+    if (committed_.count(id) == 0 && aborted_.count(id) == 0) {
+      losers.push_back(id);
     }
-    case LogRecordType::kIndexInsert:
-    case LogRecordType::kIndexRemove: {
-      if (hdr.payload_len < sizeof(IndexRedoPayload)) {
-        return Status::Corruption("index redo payload too short");
-      }
-      IndexRedoPayload entry;
-      std::memcpy(&entry, payload, sizeof(entry));
-      if (entry.index >= catalog->num_indexes()) {
-        return Status::Corruption("index redo names unknown index");
-      }
-      IndexInfo& info = catalog->index(entry.index);
-      if (type == LogRecordType::kIndexInsert) {
-        return info.kind == IndexKind::kBTree
-                   ? info.btree->Insert(entry.key, entry.value)
-                   : info.hash->Insert(entry.key, entry.value);
-      }
-      return info.kind == IndexKind::kBTree
-                 ? info.btree->Remove(entry.key, entry.value)
-                 : info.hash->Remove(entry.key, entry.value);
-    }
-    case LogRecordType::kBegin:
-    case LogRecordType::kCommit:
-    case LogRecordType::kAbort:
-      return Status::OK();
-    case LogRecordType::kBatchSeal:
-      // WalkValidPrefix hands callers interior records, never the envelope.
-      return Status::Corruption("batch-seal envelope reached redo");
   }
-  return Status::Corruption("unknown record type survived scan");
+  std::sort(losers.begin(), losers.end());
+  return losers;
 }
 
 namespace {
@@ -165,13 +174,155 @@ bool IsRedoType(LogRecordType type) {
          type == LogRecordType::kIndexRemove;
 }
 
+/// Recovery applies some records more than once — a checkpoint image plus
+/// the original redo record describe the same entry, and a warm in-place
+/// target may already hold the state being replayed. Heap redo overwrites
+/// at absolute addresses (naturally idempotent); index redo tolerates the
+/// already-there / already-gone outcomes instead.
+bool TolerableReplay(LogRecordType type, const Status& st) {
+  switch (type) {
+    case LogRecordType::kIndexInsert:
+    case LogRecordType::kCheckpointIndexImage:
+      return st.IsKeyExists();
+    case LogRecordType::kIndexRemove:
+      return st.IsNotFound();
+    case LogRecordType::kDelete:
+      return st.IsNotFound();
+    case LogRecordType::kUpdate:
+      // When the ATT widens redo below the checkpoint's begin record, an
+      // update can replay before the image that materializes its row; the
+      // image (or a later record) supplies the post-update state, so a
+      // missing slot is benign here.
+      return st.IsNotFound();
+    default:
+      return false;
+  }
+}
+
+struct HeapRedoView {
+  HeapRedoPayload row;
+  std::span<const uint8_t> before;
+  std::span<const uint8_t> after;
+};
+
+Status DecodeHeapRedo(const LogRecordHeader& hdr, const uint8_t* payload,
+                      HeapRedoView* out) {
+  if (hdr.payload_len < sizeof(HeapRedoPayload)) {
+    return Status::Corruption("heap redo payload too short");
+  }
+  std::memcpy(&out->row, payload, sizeof(out->row));
+  if (sizeof(HeapRedoPayload) + uint64_t{out->row.before_len} >
+      hdr.payload_len) {
+    return Status::Corruption("heap redo before-image overruns payload");
+  }
+  out->before = {payload + sizeof(HeapRedoPayload), out->row.before_len};
+  out->after = {payload + sizeof(HeapRedoPayload) + out->row.before_len,
+                hdr.payload_len - sizeof(HeapRedoPayload) -
+                    out->row.before_len};
+  return Status::OK();
+}
+
 }  // namespace
 
+Status RecoveryManager::ApplyRedo(Catalog* catalog,
+                                  const LogRecordHeader& hdr,
+                                  const uint8_t* payload) {
+  const auto type = static_cast<LogRecordType>(hdr.type);
+  switch (type) {
+    case LogRecordType::kInsert:
+    case LogRecordType::kUpdate:
+    case LogRecordType::kDelete:
+    case LogRecordType::kCheckpointImage: {
+      HeapRedoView view;
+      SLIDB_RETURN_NOT_OK(DecodeHeapRedo(hdr, payload, &view));
+      if (view.row.table >= catalog->num_tables()) {
+        return Status::Corruption("heap redo names unknown table");
+      }
+      HeapFile* heap = catalog->table(view.row.table).heap.get();
+      const Rid rid{view.row.page_no, view.row.slot};
+      Status st;
+      if (type == LogRecordType::kDelete) {
+        st = heap->RedoDelete(rid);
+      } else if (type == LogRecordType::kUpdate) {
+        st = heap->RedoUpdate(rid, view.after);
+      } else {
+        st = heap->RedoInsert(rid, view.after);
+        if (type == LogRecordType::kCheckpointImage && st.IsKeyExists()) {
+          // A fuzzy image is the row's absolute state as of the snapshot
+          // read. An unanchored replay (torn checkpoint) rebuilds history
+          // from the base and then meets the orphaned image records; the
+          // image simply overwrites the slot it finds live.
+          st = heap->RedoUpdate(rid, view.after);
+        }
+      }
+      if (!st.ok() && TolerableReplay(type, st)) return Status::OK();
+      return st;
+    }
+    case LogRecordType::kIndexInsert:
+    case LogRecordType::kIndexRemove:
+    case LogRecordType::kCheckpointIndexImage: {
+      if (hdr.payload_len < sizeof(IndexRedoPayload)) {
+        return Status::Corruption("index redo payload too short");
+      }
+      IndexRedoPayload entry;
+      std::memcpy(&entry, payload, sizeof(entry));
+      if (entry.index >= catalog->num_indexes()) {
+        return Status::Corruption("index redo names unknown index");
+      }
+      IndexInfo& info = catalog->index(entry.index);
+      Status st;
+      if (type == LogRecordType::kIndexRemove) {
+        st = info.kind == IndexKind::kBTree
+                 ? info.btree->Remove(entry.key, entry.value)
+                 : info.hash->Remove(entry.key, entry.value);
+      } else {
+        st = info.kind == IndexKind::kBTree
+                 ? info.btree->Insert(entry.key, entry.value)
+                 : info.hash->Insert(entry.key, entry.value);
+      }
+      if (!st.ok() && TolerableReplay(type, st)) return Status::OK();
+      return st;
+    }
+    case LogRecordType::kClr:
+      return ApplyClr(catalog, hdr, payload);
+    case LogRecordType::kBegin:
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kCheckpointBegin:
+    case LogRecordType::kCheckpointEnd:
+      return Status::OK();
+    case LogRecordType::kBatchSeal:
+      // WalkValidPrefix hands callers interior records, never the envelope.
+      return Status::Corruption("batch-seal envelope reached redo");
+  }
+  return Status::Corruption("unknown record type survived scan");
+}
+
+Status RecoveryManager::ApplyClr(Catalog* catalog, const LogRecordHeader& hdr,
+                                 const uint8_t* payload) {
+  if (hdr.payload_len < sizeof(ClrPayload)) {
+    return Status::Corruption("clr payload too short");
+  }
+  ClrPayload clr;
+  std::memcpy(&clr, payload, sizeof(clr));
+  const auto inner_type = static_cast<LogRecordType>(clr.redo_type);
+  if (!IsRedoType(inner_type)) {
+    return Status::Corruption("clr wraps a non-redo record type");
+  }
+  // Re-dispatch the inner redo with a synthetic header; CLR compensation is
+  // plain redo at absolute addresses, so the tolerance rules apply as-is.
+  LogRecordHeader inner = hdr;
+  inner.type = clr.redo_type;
+  inner.payload_len = hdr.payload_len - sizeof(ClrPayload);
+  return ApplyRedo(catalog, inner, payload + sizeof(ClrPayload));
+}
+
 Status RecoveryManager::WalkValidPrefix(
+    Lsn from_lsn,
     const std::function<Status(const LogRecordHeader& hdr,
                                const uint8_t* payload)>& fn) {
   Scan();
-  size_t pos = 0;
+  size_t pos = static_cast<size_t>(from_lsn - base_lsn_);
   LogRecordHeader hdr;
   const uint8_t* payload = nullptr;
   while (base_lsn_ + pos < report_.valid_prefix_end) {
@@ -201,29 +352,120 @@ Status RecoveryManager::WalkValidPrefix(
   return Status::OK();
 }
 
-Status RecoveryManager::Replay(Catalog* catalog) {
+Status RecoveryManager::Replay(Catalog* catalog, const ClrSink& sink) {
   ScopedComponent comp(Component::kLog);
-  return WalkValidPrefix([&](const LogRecordHeader& hdr,
-                             const uint8_t* payload) -> Status {
-    if (!IsRedoType(static_cast<LogRecordType>(hdr.type))) {
-      return Status::OK();
+  Scan();
+
+  // Redo: repeating history from the checkpoint anchor. Loser records are
+  // collected on the way for the undo pass (payload pointers stay valid —
+  // they point into the stream this manager owns or views).
+  struct LoserRecord {
+    LogRecordHeader hdr;
+    const uint8_t* payload;
+  };
+  std::vector<LoserRecord> loser_records;
+  const Lsn redo_start = report_.redo_start_lsn;
+  Status st = WalkValidPrefix(
+      redo_start,
+      [&](const LogRecordHeader& hdr, const uint8_t* payload) -> Status {
+        const auto type = static_cast<LogRecordType>(hdr.type);
+        const bool is_redo = IsRedoType(type);
+        const bool is_clr = type == LogRecordType::kClr;
+        const bool is_image = type == LogRecordType::kCheckpointImage ||
+                              type == LogRecordType::kCheckpointIndexImage;
+        if (!is_redo && !is_clr && !is_image) return Status::OK();
+        if ((is_redo || is_clr) && IsAborted(hdr.txn_id)) {
+          // The txn aborted before the crash: its in-memory undo ran before
+          // the abort record was logged, and checkpoint images reflect the
+          // post-undo state — replaying (or re-compensating) its records
+          // would resurrect rolled-back changes.
+          report_.records_skipped++;
+          CountEvent(Counter::kRecoveryRecordsSkipped);
+          return Status::OK();
+        }
+        if (is_redo && !IsCommitted(hdr.txn_id)) {
+          loser_records.push_back({hdr, payload});
+        }
+        SLIDB_RETURN_NOT_OK(ApplyRedo(catalog, hdr, payload));
+        report_.records_replayed++;
+        CountEvent(Counter::kRecoveryRecordsReplayed);
+        return Status::OK();
+      });
+  SLIDB_RETURN_NOT_OK(st);
+
+  // Undo: roll losers back in global reverse LSN order by restoring
+  // before-images (heap) or inverting the operation (index), emitting one
+  // redo-only CLR per step. Losers held their X locks at the crash, so no
+  // committed state is disturbed.
+  std::unordered_set<uint64_t> losers_touched;
+  for (auto it = loser_records.rbegin(); it != loser_records.rend(); ++it) {
+    const auto type = static_cast<LogRecordType>(it->hdr.type);
+    LogRecordHeader inverse = it->hdr;
+    std::vector<uint8_t> inverse_payload;
+    switch (type) {
+      case LogRecordType::kInsert: {
+        HeapRedoView view;
+        SLIDB_RETURN_NOT_OK(DecodeHeapRedo(it->hdr, it->payload, &view));
+        HeapRedoPayload row = view.row;
+        row.before_len = 0;
+        inverse.type = static_cast<uint8_t>(LogRecordType::kDelete);
+        inverse_payload.resize(sizeof(row));
+        std::memcpy(inverse_payload.data(), &row, sizeof(row));
+        break;
+      }
+      case LogRecordType::kUpdate:
+      case LogRecordType::kDelete: {
+        HeapRedoView view;
+        SLIDB_RETURN_NOT_OK(DecodeHeapRedo(it->hdr, it->payload, &view));
+        HeapRedoPayload row = view.row;
+        row.before_len = 0;
+        inverse.type = static_cast<uint8_t>(type == LogRecordType::kDelete
+                                                ? LogRecordType::kInsert
+                                                : LogRecordType::kUpdate);
+        inverse_payload.resize(sizeof(row) + view.before.size());
+        std::memcpy(inverse_payload.data(), &row, sizeof(row));
+        if (!view.before.empty()) {
+          std::memcpy(inverse_payload.data() + sizeof(row),
+                      view.before.data(), view.before.size());
+        }
+        break;
+      }
+      case LogRecordType::kIndexInsert:
+      case LogRecordType::kIndexRemove: {
+        inverse.type =
+            static_cast<uint8_t>(type == LogRecordType::kIndexInsert
+                                     ? LogRecordType::kIndexRemove
+                                     : LogRecordType::kIndexInsert);
+        inverse_payload.assign(it->payload, it->payload + it->hdr.payload_len);
+        break;
+      }
+      default:
+        return Status::Corruption("non-redo record collected for undo");
     }
-    if (!IsCommitted(hdr.txn_id)) {
-      report_.records_skipped++;
-      CountEvent(Counter::kRecoveryRecordsSkipped);
-      return Status::OK();
+    inverse.payload_len = static_cast<uint32_t>(inverse_payload.size());
+    SLIDB_RETURN_NOT_OK(
+        ApplyRedo(catalog, inverse, inverse_payload.data()));
+    report_.records_undone++;
+    CountEvent(Counter::kRecoveryRecordsUndone);
+    losers_touched.insert(it->hdr.txn_id);
+    if (sink) {
+      sink(it->hdr.txn_id, static_cast<LogRecordType>(inverse.type),
+           inverse_payload.data(), inverse.payload_len, it->hdr.lsn);
+      report_.clrs_emitted++;
+      CountEvent(Counter::kRecoveryClrsEmitted);
     }
-    SLIDB_RETURN_NOT_OK(ApplyRedo(catalog, hdr, payload));
-    report_.records_replayed++;
-    CountEvent(Counter::kRecoveryRecordsReplayed);
-    return Status::OK();
-  });
+  }
+  report_.losers_rolled_back = losers_touched.size();
+  CountEvent(Counter::kRecoveryLosersRolledBack, losers_touched.size());
+  return Status::OK();
 }
 
 void RecoveryManager::ForEachCommittedRedo(
     const std::function<void(const LogRecordHeader& hdr,
                              const uint8_t* payload)>& fn) {
+  Scan();
   (void)WalkValidPrefix(
+      base_lsn_,
       [&](const LogRecordHeader& hdr, const uint8_t* payload) -> Status {
         if (IsRedoType(static_cast<LogRecordType>(hdr.type)) &&
             IsCommitted(hdr.txn_id)) {

@@ -47,6 +47,17 @@ const char* CounterName(Counter c) {
     case Counter::kRecoveryRecordsSkipped: return "recovery.records_skipped";
     case Counter::kRecoveryCommittedTxns: return "recovery.committed_txns";
     case Counter::kRecoveryTornTails: return "recovery.torn_tails";
+    case Counter::kRecoveryRecordsUndone: return "recovery.records_undone";
+    case Counter::kRecoveryClrsEmitted: return "recovery.clrs_emitted";
+    case Counter::kRecoveryLosersRolledBack:
+      return "recovery.losers_rolled_back";
+    case Counter::kRecoveryCheckpointAnchored:
+      return "recovery.checkpoint_anchored";
+    case Counter::kCheckpointsCompleted: return "checkpoint.completed";
+    case Counter::kCheckpointImageRecords: return "checkpoint.image_records";
+    case Counter::kLogSegmentsCreated: return "log.segments_created";
+    case Counter::kLogSegmentsRecycled: return "log.segments_recycled";
+    case Counter::kLogSyncFailures: return "log.sync_failures";
     case Counter::kBtreeRestarts: return "btree.restarts";
     case Counter::kBtreeLeafReclaims: return "btree.leaf_reclaims";
     case Counter::kEpochRetired: return "epoch.retired";

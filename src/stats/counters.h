@@ -63,6 +63,17 @@ enum class Counter : uint32_t {
   kRecoveryRecordsSkipped,  ///< redo records of uncommitted txns dropped
   kRecoveryCommittedTxns,   ///< transactions whose commit record was durable
   kRecoveryTornTails,       ///< recoveries that discarded a torn/corrupt tail
+  kRecoveryRecordsUndone,   ///< loser records rolled back by the undo pass
+  kRecoveryClrsEmitted,     ///< compensation records written during undo
+  kRecoveryLosersRolledBack, ///< uncommitted txns rolled back at restart
+  kRecoveryCheckpointAnchored, ///< recoveries that started at a checkpoint
+
+  // -- checkpointing and log segments --
+  kCheckpointsCompleted,    ///< fuzzy checkpoints that reached kCheckpointEnd
+  kCheckpointImageRecords,  ///< heap + index image records written
+  kLogSegmentsCreated,      ///< segment files created (write-new-then-rename)
+  kLogSegmentsRecycled,     ///< segment files deleted after checkpoint
+  kLogSyncFailures,         ///< fsync/close failures that poisoned the device
 
   // -- B-tree optimistic lock coupling --
   kBtreeRestarts,       ///< optimistic traversals retried after a version

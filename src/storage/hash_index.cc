@@ -130,6 +130,23 @@ Status HashIndex::Remove(uint64_t key, uint64_t value) {
   return Status::NotFound();
 }
 
+void HashIndex::ForEach(
+    const std::function<void(uint64_t key, uint64_t value)>& fn) {
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    Shard& s = *shards_[i];
+    bool restart = false;
+    s.latch.WriteLockOrRestart(&restart);  // shards are never obsolete
+    Table* t = s.table.load(std::memory_order_relaxed);
+    for (size_t b = 0; b <= t->mask; ++b) {
+      for (Node* n = t->slots[b].load(std::memory_order_relaxed);
+           n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+        fn(n->key, n->value);
+      }
+    }
+    s.latch.WriteUnlock();
+  }
+}
+
 Status HashIndex::Lookup(uint64_t key, uint64_t* value) const {
   const uint64_t h = Mix(key);
   Shard& s = ShardFor(h);

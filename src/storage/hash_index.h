@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,13 @@ class HashIndex {
   Status Lookup(uint64_t key, uint64_t* value) const;
 
   void LookupAll(uint64_t key, std::vector<uint64_t>* values) const;
+
+  /// Visit every (key, value) pair, shard by shard, under each shard's
+  /// write latch (stable view per shard; writers to that shard block for
+  /// its walk). Order is unspecified. Added for checkpoint imaging, which
+  /// additionally holds a table S lock so no 2PL writer mutates the index
+  /// concurrently — the latch guards against non-transactional callers.
+  void ForEach(const std::function<void(uint64_t key, uint64_t value)>& fn);
 
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 

@@ -2,14 +2,33 @@
 // undo list used to roll back storage effects on abort.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/lock/lock_client.h"
+#include "src/log/log_record.h"
 #include "src/log/log_staging.h"
 
 namespace slidb {
+
+/// Published transaction state the fuzzy checkpointer reads while agents
+/// run full speed. Shared-ownership token: the TransactionManager registry
+/// holds weak references, so an agent (and its Transaction) can be
+/// destroyed at any time without unregistration ordering constraints.
+///
+/// `first_lsn` is a conservative LOWER bound on the LSN of the txn's first
+/// published log record (captured from the log's reserved-LSN clock just
+/// before the first publish). The checkpointer folds it into the
+/// checkpoint's redo-start; a too-low bound only widens the redo window,
+/// never loses a loser record.
+struct TxnPubState {
+  std::atomic<uint64_t> txn_id{0};
+  std::atomic<Lsn> first_lsn{kLsnNone};
+  std::atomic<bool> active{false};
+};
 
 enum class TxnState : uint8_t {
   kIdle = 0,
@@ -65,8 +84,18 @@ class Transaction {
     begin_logged_ = false;
     staging_.Clear();
     staged_published_ = false;
+    // Publish order matters for the checkpointer's ATT snapshot: the slot
+    // goes inactive, its fields change, then it reactivates — a racing
+    // snapshot sees either the old txn, nothing, or the new txn, never a
+    // mixed entry that matters (a stale entry only widens redo-start).
+    pub_->active.store(false, std::memory_order_release);
+    pub_->txn_id.store(id, std::memory_order_relaxed);
+    pub_->first_lsn.store(kLsnNone, std::memory_order_relaxed);
+    pub_->active.store(true, std::memory_order_release);
     lock_client_.StartTxn(id, agent_id);
   }
+
+  void PubFinish() { pub_->active.store(false, std::memory_order_release); }
 
   void RunUndo() {
     for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) (*it)();
@@ -90,6 +119,10 @@ class Transaction {
   /// staging watermark fired): the txn now exists in the log, so an abort
   /// must append its kAbort record instead of just dropping the buffer.
   bool staged_published_ = false;
+  /// Checkpointer-visible state (see TxnPubState). Created once per
+  /// Transaction; registered with the TransactionManager on first Begin.
+  std::shared_ptr<TxnPubState> pub_ = std::make_shared<TxnPubState>();
+  bool registered_ = false;
 };
 
 }  // namespace slidb

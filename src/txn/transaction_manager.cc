@@ -14,10 +14,48 @@ namespace slidb {
 Transaction* TransactionManager::Begin(AgentContext* agent) {
   ScopedComponent comp(Component::kTxn);
   Transaction& txn = agent->txn();
+  if (!txn.registered_) {
+    txn.registered_ = true;
+    std::lock_guard<std::mutex> g(registry_mu_);
+    registry_.push_back(txn.pub_);
+  }
   txn.Reset(next_txn_id_.fetch_add(1, std::memory_order_relaxed),
             agent->id());
   lock_manager_->AdoptInherited(&txn.lock_client(), &agent->sli());
   return &txn;
+}
+
+void TransactionManager::NoteFirstPublish(Transaction& txn) {
+  if (txn.pub_->first_lsn.load(std::memory_order_relaxed) != kLsnNone) {
+    return;
+  }
+  // Captured BEFORE the publish reserves ring space, so it cannot exceed
+  // the first record's actual LSN. The seq_cst fence pairs with the one in
+  // SnapshotActiveTxns through the log's reservation clock: if our records
+  // land below a checkpoint-begin record, the checkpointer's post-begin
+  // snapshot observes this store.
+  txn.pub_->first_lsn.store(log_manager_->reserved_lsn(),
+                            std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+std::vector<CheckpointTxnEntry> TransactionManager::SnapshotActiveTxns() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::vector<CheckpointTxnEntry> out;
+  std::lock_guard<std::mutex> g(registry_mu_);
+  size_t live = 0;
+  for (auto& weak : registry_) {
+    auto pub = weak.lock();
+    if (pub == nullptr) continue;  // agent destroyed: prune below
+    registry_[live++] = weak;
+    if (!pub->active.load(std::memory_order_acquire)) continue;
+    CheckpointTxnEntry entry;
+    entry.txn_id = pub->txn_id.load(std::memory_order_relaxed);
+    entry.first_lsn = pub->first_lsn.load(std::memory_order_relaxed);
+    out.push_back(entry);
+  }
+  registry_.resize(live);
+  return out;
 }
 
 void TransactionManager::MaybeLogBegin(Transaction& txn) {
@@ -33,6 +71,7 @@ void TransactionManager::EmitRecord(Transaction& txn, LogRecordType type,
                                     const void* payload,
                                     uint32_t payload_len) {
   if (!UseStaging()) {
+    NoteFirstPublish(txn);
     log_manager_->Append(txn.id(), type, payload, payload_len);
     return;
   }
@@ -48,11 +87,13 @@ void TransactionManager::EmitRecord(Transaction& txn, LogRecordType type,
 Lsn TransactionManager::PublishStaged(Transaction& txn) {
   if (txn.staging_.empty()) return 0;
   txn.staged_published_ = true;
+  NoteFirstPublish(txn);
   return log_manager_->AppendBatch(&txn.staging_);
 }
 
 void TransactionManager::LogHeapOp(AgentContext* agent, LogRecordType type,
                                    uint32_t table, Rid rid,
+                                   std::span<const uint8_t> before,
                                    std::span<const uint8_t> image) {
   if (log_manager_ == nullptr) return;
   MaybeLogBegin(agent->txn());
@@ -60,21 +101,30 @@ void TransactionManager::LogHeapOp(AgentContext* agent, LogRecordType type,
   row.table = table;
   row.slot = rid.slot;
   row.page_no = rid.page_no;
-  // Full after-image, never truncated: a capped image would replay as a
-  // different row. Heap records are bounded by the 8 KiB page — hard
-  // check, not an assert: in Release builds an oversized image would
-  // otherwise overflow the stack buffer below.
-  if (image.size() > SlottedPage::MaxRecordSize()) {
-    std::fprintf(stderr, "slidb: heap redo image %zu exceeds page bound\n",
-                 image.size());
+  row.before_len = static_cast<uint32_t>(before.size());
+  // Full images, never truncated: a capped after-image would replay as a
+  // different row, a capped before-image would undo to one. Heap records
+  // are bounded by the 8 KiB page — hard check, not an assert: in Release
+  // builds an oversized image would otherwise overflow the stack buffer
+  // below.
+  if (image.size() > SlottedPage::MaxRecordSize() ||
+      before.size() > SlottedPage::MaxRecordSize()) {
+    std::fprintf(stderr,
+                 "slidb: heap redo image %zu/%zu exceeds page bound\n",
+                 before.size(), image.size());
     std::abort();
   }
-  uint8_t buf[sizeof(HeapRedoPayload) + SlottedPage::MaxRecordSize()];
+  uint8_t buf[sizeof(HeapRedoPayload) + 2 * SlottedPage::MaxRecordSize()];
   std::memcpy(buf, &row, sizeof(row));
-  if (!image.empty()) {
-    std::memcpy(buf + sizeof(row), image.data(), image.size());
+  if (!before.empty()) {
+    std::memcpy(buf + sizeof(row), before.data(), before.size());
   }
-  const auto total = static_cast<uint32_t>(sizeof(row) + image.size());
+  if (!image.empty()) {
+    std::memcpy(buf + sizeof(row) + before.size(), image.data(),
+                image.size());
+  }
+  const auto total =
+      static_cast<uint32_t>(sizeof(row) + before.size() + image.size());
   EmitRecord(agent->txn(), type, buf, total);
   agent->txn().AddLogBytes(total);
 }
@@ -175,6 +225,7 @@ Status TransactionManager::Commit(AgentContext* agent) {
     CommitReleaseLocks(agent, lsn);
   }
   txn.state_ = TxnState::kCommitted;
+  txn.PubFinish();
   txn.undo_.clear();
   CountEvent(Counter::kTxnCommits);
   return Status::OK();
@@ -210,6 +261,7 @@ void TransactionManager::Abort(AgentContext* agent) {
   lock_manager_->ReleaseAll(&txn.lock_client(), &agent->sli(),
                             /*allow_inherit=*/false);
   txn.state_ = TxnState::kAborted;
+  txn.PubFinish();
 }
 
 }  // namespace slidb

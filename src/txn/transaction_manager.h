@@ -13,7 +13,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <vector>
 
 #include "src/lock/lock_manager.h"
 #include "src/log/log_manager.h"
@@ -94,10 +97,15 @@ class TransactionManager {
   // Emission order matters — a mutation's record is appended while the row
   // is still X-locked, so dependent transactions always log after us.
 
-  /// Log a heap row mutation (kInsert/kUpdate carry the after-image;
-  /// kDelete logs just the address).
+  /// Log a heap row mutation. `image` is the after-image (kInsert/kUpdate;
+  /// empty for kDelete), `before` the before-image the restart undo pass
+  /// restores when this transaction turns out to be a loser (empty for
+  /// kInsert — undoing an insert is a delete). Both are full images, so a
+  /// CLR built from `before` replays at the absolute address with no other
+  /// context.
   void LogHeapOp(AgentContext* agent, LogRecordType type, uint32_t table,
-                 Rid rid, std::span<const uint8_t> image);
+                 Rid rid, std::span<const uint8_t> before,
+                 std::span<const uint8_t> image);
 
   /// Log an index entry mutation (kIndexInsert / kIndexRemove).
   void LogIndexOp(AgentContext* agent, LogRecordType type, uint32_t index,
@@ -119,6 +127,15 @@ class TransactionManager {
   }
 
   const TxnOptions& options() const { return options_; }
+
+  /// Snapshot the active-transaction table for a fuzzy checkpoint. MUST be
+  /// called after the kCheckpointBegin record has been appended: any txn
+  /// with a published record below the begin LSN either still shows active
+  /// here (its first_lsn bounds redo-start) or already has its commit/abort
+  /// record below the coming kCheckpointEnd — so no potential loser of a
+  /// recovery anchored at this checkpoint escapes the table. Entries may be
+  /// stale (txn committed mid-snapshot); staleness only widens redo-start.
+  std::vector<CheckpointTxnEntry> SnapshotActiveTxns();
 
  private:
   /// Emit the txn's kBegin record if this is its first mutation.
@@ -147,10 +164,21 @@ class TransactionManager {
   /// parks a deferred ack on the settlement queue and returns.
   void CommitExternalize(AgentContext* agent, Lsn horizon);
 
+  /// Record that `txn`'s next publish is its first: capture a conservative
+  /// lower bound on its first published LSN for the checkpointer before
+  /// the reservation happens.
+  void NoteFirstPublish(Transaction& txn);
+
   LockManager* lock_manager_;
   LogManager* log_manager_;
   TxnOptions options_;
   std::atomic<uint64_t> next_txn_id_{1};
+
+  /// Registry behind SnapshotActiveTxns: weak references to every agent
+  /// transaction's published state. Registration is once per Transaction
+  /// (first Begin); expired entries are pruned during snapshots.
+  std::mutex registry_mu_;
+  std::vector<std::weak_ptr<TxnPubState>> registry_;
 };
 
 }  // namespace slidb

@@ -234,7 +234,7 @@ TEST(TxnTest, EarlyLockReleaseDropsLocksBeforeDurability) {
   // A logged mutation makes this a write transaction: read-only commits
   // skip the log-insert/wait-durable phases entirely.
   const uint8_t img[4] = {1, 2, 3, 4};
-  tm.LogHeapOp(&agent, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
+  tm.LogHeapOp(&agent, LogRecordType::kUpdate, 1, Rid{0, 0}, {}, img);
 
   std::atomic<bool> commit_done{false};
   CounterSet commit_counters;
@@ -282,7 +282,7 @@ TEST(TxnTest, LegacyOrderingHoldsLocksUntilDurable) {
                         LockMode::kX)
                   .ok());
   const uint8_t img[4] = {1, 2, 3, 4};
-  tm.LogHeapOp(&agent, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
+  tm.LogHeapOp(&agent, LogRecordType::kUpdate, 1, Rid{0, 0}, {}, img);
 
   std::thread committer([&] { EXPECT_TRUE(tm.Commit(&agent).ok()); });
 
@@ -328,7 +328,7 @@ TEST(TxnTest, ReadOnlyCommitWaitsForObservedWritersDurability) {
                         LockMode::kX)
                   .ok());
   const uint8_t img[4] = {9, 9, 9, 9};
-  tm.LogHeapOp(&writer, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
+  tm.LogHeapOp(&writer, LogRecordType::kUpdate, 1, Rid{0, 0}, {}, img);
   std::thread w_commit([&] { EXPECT_TRUE(tm.Commit(&writer).ok()); });
 
   // Reader acquires the lock W released early (the flush is still gated).
@@ -468,7 +468,7 @@ TEST(TxnTest, SpeculativeCommitsReturnEarlyAndSettleOnlyWhenDurable) {
                           LockMode::kX)
                     .ok());
     const uint8_t img[4] = {1, 2, 3, 4};
-    tm.LogHeapOp(&writer, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
+    tm.LogHeapOp(&writer, LogRecordType::kUpdate, 1, Rid{0, 0}, {}, img);
     ASSERT_TRUE(tm.Commit(&writer).ok());
   }
   EXPECT_EQ(wc.Get(Counter::kTxnDeferredAcks), 1u);
@@ -545,7 +545,7 @@ TEST(TxnTest, WriterAbortAfterSpeculativeReadLeavesNoDependency) {
                         LockMode::kX)
                   .ok());
   const uint8_t img[4] = {7, 7, 7, 7};
-  tm.LogHeapOp(&writer, LogRecordType::kUpdate, 1, Rid{0, 0}, img);
+  tm.LogHeapOp(&writer, LogRecordType::kUpdate, 1, Rid{0, 0}, {}, img);
   tm.Abort(&writer);
   // Nothing of the aborted writer ever reached the log (staged redo was
   // dropped), and its release stamped no commit LSN on the head.
