@@ -8,6 +8,7 @@
 #   $OUT_DIR/BENCH_btree.json      (micro_btree: OLC vs crabbing probes)
 #   $OUT_DIR/BENCH_workloads.json  (macro_workloads: log append + TPC-B/TM1)
 #   $OUT_DIR/BENCH_recovery.json   (micro_recovery: log scan + redo replay)
+#   $OUT_DIR/BENCH_contention.json (macro_contention: SLI policy x skew matrix)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,7 +17,7 @@ OUT_DIR="${2:-.}"
 shift $(( $# > 2 ? 2 : $# )) || true
 EXTRA_ARGS=("${@:-"--quick"}")
 
-for bench in micro_grant_path micro_btree macro_workloads micro_recovery; do
+for bench in micro_grant_path micro_btree macro_workloads micro_recovery macro_contention; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "error: $BUILD_DIR/$bench not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -27,4 +28,5 @@ done
 "$BUILD_DIR/micro_btree" "${EXTRA_ARGS[@]}" --json="$OUT_DIR/BENCH_btree.json"
 "$BUILD_DIR/macro_workloads" "${EXTRA_ARGS[@]}" --json="$OUT_DIR/BENCH_workloads.json"
 "$BUILD_DIR/micro_recovery" "${EXTRA_ARGS[@]}" --json="$OUT_DIR/BENCH_recovery.json"
-echo "bench results written to $OUT_DIR/BENCH_lockmgr.json, $OUT_DIR/BENCH_btree.json, $OUT_DIR/BENCH_workloads.json and $OUT_DIR/BENCH_recovery.json"
+"$BUILD_DIR/macro_contention" "${EXTRA_ARGS[@]}" --json="$OUT_DIR/BENCH_contention.json"
+echo "bench results written to $OUT_DIR/BENCH_lockmgr.json, $OUT_DIR/BENCH_btree.json, $OUT_DIR/BENCH_workloads.json, $OUT_DIR/BENCH_recovery.json and $OUT_DIR/BENCH_contention.json"

@@ -179,6 +179,12 @@ class Database {
     lock_manager_->mutable_options().enable_sli = enabled;
   }
 
+  /// Apply an SLI policy preset between runs (no active transactions
+  /// allowed); see SliMode in lock_manager.h.
+  void SetSliMode(SliMode mode) {
+    ApplySliMode(lock_manager_->mutable_options(), mode);
+  }
+
  private:
   Status LockRow(AgentContext* agent, TableId table, Rid rid, LockMode mode);
 

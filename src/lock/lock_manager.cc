@@ -492,10 +492,22 @@ bool LockManager::EligibleForInheritance(
       h->id.level == LockLevel::kRow) {
     ok = false;
   }
-  // Criterion 2: the lock is hot.
-  if (ok && options_.sli_require_hot &&
-      !h->hot.IsHot(options_.hot_min_contended)) {
-    ok = false;
+  // Criterion 2: the lock is hot. Adaptive mode swaps the stateless window
+  // test for the per-head enter/exit state machine; transitions are counted
+  // so the benches can watch the policy switch per head.
+  if (ok && options_.sli_require_hot) {
+    if (options_.sli_adaptive) {
+      const bool was = h->hot.adaptive_hot();
+      const bool now = h->hot.IsHotAdaptive(options_.hot_min_contended,
+                                            options_.hot_exit_contended);
+      if (now != was) {
+        CountEvent(now ? Counter::kSliAdaptiveEnable
+                       : Counter::kSliAdaptiveCooldown);
+      }
+      if (!now) ok = false;
+    } else if (!h->hot.IsHot(options_.hot_min_contended)) {
+      ok = false;
+    }
   }
   // Criterion 4: no other transaction is waiting.
   if (ok && options_.sli_require_no_waiters &&

@@ -39,6 +39,18 @@ struct LockManagerOptions {
   /// acquisitions on the head were contended (paper: tunable threshold).
   uint32_t hot_min_contended = 4;
 
+  /// Adaptive-SLI mode (criterion 2 becomes a per-head state machine):
+  /// inheritance turns on for a head when its window reaches
+  /// hot_min_contended and stays on until the window cools to
+  /// hot_exit_contended or below. The gap between the two thresholds is the
+  /// hysteresis band that stops inheritance from flapping when a head
+  /// hovers near the trigger. Requires sli_require_hot; ignored otherwise.
+  bool sli_adaptive = false;
+
+  /// Adaptive exit threshold (see sli_adaptive). Must be < hot_min_contended
+  /// for the hysteresis band to exist.
+  uint32_t hot_exit_contended = 1;
+
   /// Keep page-and-higher lock heads alive when their queues drain so the
   /// hot-lock history survives between transactions. Row heads are always
   /// reclaimed eagerly (they are too numerous to retain).
@@ -82,6 +94,31 @@ struct LockManagerOptions {
 struct LockManagerStats {
   size_t lock_heads = 0;
 };
+
+/// The SLI policy presets the contention benches ablate. kOn is the paper
+/// default (all eligibility criteria active, window-based heat test);
+/// kAlwaysInherit drops criterion 2 (every eligible head inherits regardless
+/// of heat); kAdaptive replaces the stateless window test with the per-head
+/// enter/exit state machine (see LockManagerOptions::sli_adaptive).
+enum class SliMode : uint8_t { kOff, kOn, kAlwaysInherit, kAdaptive };
+
+inline const char* SliModeName(SliMode mode) {
+  switch (mode) {
+    case SliMode::kOff: return "sli_off";
+    case SliMode::kOn: return "sli_on";
+    case SliMode::kAlwaysInherit: return "always_on";
+    case SliMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// Apply a policy preset on top of existing options (leaves thresholds and
+/// non-SLI knobs untouched). Safe only between runs, like mutable_options().
+inline void ApplySliMode(LockManagerOptions& o, SliMode mode) {
+  o.enable_sli = mode != SliMode::kOff;
+  o.sli_require_hot = mode != SliMode::kAlwaysInherit;
+  o.sli_adaptive = mode == SliMode::kAdaptive;
+}
 
 /// Clients to wake, collected while a head latch is held and drained after
 /// it is released so waiters never wake up into a still-latched head (and

@@ -43,6 +43,8 @@ enum class Counter : uint32_t {
   kSliInvalidated,     ///< inherited requests killed by a conflicting request
   kSliDiscarded,       ///< inherited requests released unused at next commit
   kSliUpgradeAfterReclaim,  ///< reclaimed, then needed a stronger mode
+  kSliAdaptiveEnable,       ///< adaptive policy turned inheritance on for a head
+  kSliAdaptiveCooldown,     ///< adaptive policy turned inheritance off for a head
 
   // -- log / commit pipeline --
   kLogResvRetries,          ///< backpressure pauses in the log append path

@@ -541,6 +541,116 @@ restart:
   }
 }
 
+namespace {
+
+/// Step a (key, value) cursor to the predecessor pair in the total order;
+/// false when there is none ((0, 0) has no predecessor).
+inline bool PairDecrement(uint64_t* k, uint64_t* v) {
+  if (*v > 0) {
+    --*v;
+    return true;
+  }
+  if (*k == 0) return false;
+  --*k;
+  *v = UINT64_MAX;
+  return true;
+}
+
+}  // namespace
+
+void BTree::ScanReverseOptimistic(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t key, uint64_t value)>& fn) const {
+  EpochManager::Guard guard(EpochManager::Global());
+  RestartBackoff backoff;
+
+  // Reverse resume cursor: the next pair to deliver is <= (ck, cv). Leaves
+  // only chain forward, so each chunk re-descends from the root toward the
+  // cursor, surfaces that leaf's in-range entries from a kFanout stack
+  // buffer, then steps the cursor below everything delivered — bounded
+  // memory regardless of the range length, and the same no-duplicate /
+  // no-tear restart discipline as the forward scan.
+  uint64_t ck = hi, cv = UINT64_MAX;
+  uint64_t batch_k[kFanout];
+  uint64_t batch_v[kFanout];
+
+restart:
+  for (;;) {
+    bool rs = false;
+    Node* node = root_.load(std::memory_order_acquire);
+    uint64_t v = node->version.ReadLockOrRestart(&rs);
+    if (rs || node != root_.load(std::memory_order_acquire)) {
+      backoff.Pause();
+      goto restart;
+    }
+    // Innermost left fence of the descent: every pair in the reached leaf
+    // is >= the fence, and — because separators are strict lower bounds of
+    // their right subtree (split copies up the right sibling's first pair)
+    // — the pair equal to the fence lives in this subtree too. So when the
+    // leaf has nothing left in range, the predecessor hunt can jump the
+    // cursor straight to PairDecrement(fence).
+    bool has_fence = false;
+    uint64_t fk = 0, fv = 0;
+    while (!node->leaf) {
+      // children[slot] spans [separator slot-1, separator slot): exactly
+      // the subtree holding the largest pair <= (ck, cv), if it exists.
+      const int slot = UpperBound(node, ck, cv);
+      Node* child = LdP(node->children[slot]);
+      uint64_t sk = 0, sv = 0;
+      if (slot > 0) {
+        sk = Ld(node->keys[slot - 1]);
+        sv = Ld(node->vals[slot - 1]);
+      }
+      node->version.CheckOrRestart(v, &rs);  // validates slot, child, fence
+      if (rs) {
+        backoff.Pause();
+        goto restart;
+      }
+      if (slot > 0) {
+        has_fence = true;
+        fk = sk;
+        fv = sv;
+      }
+      node = child;
+      v = node->version.ReadLockOrRestart(&rs);
+      if (rs) {
+        backoff.Pause();
+        goto restart;
+      }
+    }
+
+    int n = 0;
+    const int last = UpperBound(node, ck, cv);  // first pair > cursor
+    for (int idx = LowerBound(node, lo, 0); idx < last; ++idx) {
+      batch_k[n] = Ld(node->keys[idx]);
+      batch_v[n] = Ld(node->vals[idx]);
+      ++n;
+    }
+    node->version.CheckOrRestart(v, &rs);
+    if (rs) {
+      backoff.Pause();
+      goto restart;
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      if (!fn(batch_k[i], batch_v[i])) return;
+    }
+
+    uint64_t nk, nv;
+    if (n > 0) {
+      nk = batch_k[0];  // smallest delivered pair
+      nv = batch_v[0];
+    } else if (has_fence) {
+      nk = fk;  // leaf exhausted below the cursor: resume left of the fence
+      nv = fv;
+    } else {
+      return;  // leftmost leaf and nothing in range: scan complete
+    }
+    if (!PairDecrement(&nk, &nv) || nk < lo) return;
+    ck = nk;
+    cv = nv;
+  }
+}
+
 // ---- legacy latch crabbing (BTreeOptions::SyncMode::kCrabbing) ----
 
 Status BTree::InsertCrabbing(uint64_t key, uint64_t value) {
@@ -714,6 +824,67 @@ void BTree::ScanCrabbing(
   }
 }
 
+void BTree::ScanReverseCrabbing(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t key, uint64_t value)>& fn) const {
+  // Same chunked reverse walk as the OLC variant (see
+  // ScanReverseOptimistic for the cursor / fence reasoning), but each
+  // descent uses shared-latch coupling and the leaf batch is copied out
+  // under the leaf latch, which is dropped before any callback runs.
+  uint64_t ck = hi, cv = UINT64_MAX;
+  uint64_t batch_k[kFanout];
+  uint64_t batch_v[kFanout];
+
+  for (;;) {
+    root_latch_.AcquireShared();
+    Node* node = root_.load(std::memory_order_relaxed);
+    node->latch.AcquireShared();
+    root_latch_.ReleaseShared();
+
+    bool has_fence = false;
+    uint64_t fk = 0, fv = 0;
+    while (!node->leaf) {
+      const int slot = UpperBound(node, ck, cv);
+      if (slot > 0) {
+        has_fence = true;
+        fk = Ld(node->keys[slot - 1]);
+        fv = Ld(node->vals[slot - 1]);
+      }
+      Node* child = LdP(node->children[slot]);
+      child->latch.AcquireShared();
+      node->latch.ReleaseShared();
+      node = child;
+    }
+
+    int n = 0;
+    const int last = UpperBound(node, ck, cv);
+    for (int idx = LowerBound(node, lo, 0); idx < last; ++idx) {
+      batch_k[n] = Ld(node->keys[idx]);
+      batch_v[n] = Ld(node->vals[idx]);
+      ++n;
+    }
+    node->latch.ReleaseShared();
+
+    for (int i = n - 1; i >= 0; --i) {
+      if (!fn(batch_k[i], batch_v[i])) return;
+    }
+
+    uint64_t nk, nv;
+    if (n > 0) {
+      nk = batch_k[0];
+      nv = batch_v[0];
+    } else if (has_fence) {
+      nk = fk;
+      nv = fv;
+    } else {
+      return;
+    }
+    if (!PairDecrement(&nk, &nv) || nk < lo) return;
+    ck = nk;
+    cv = nv;
+  }
+}
+
 // ---- public dispatch ----
 
 Status BTree::Insert(uint64_t key, uint64_t value) {
@@ -762,16 +933,11 @@ void BTree::LookupAll(uint64_t key, std::vector<uint64_t>* values) const {
 void BTree::ScanReverse(
     uint64_t lo, uint64_t hi,
     const std::function<bool(uint64_t key, uint64_t value)>& fn) const {
-  // Reverse iteration is implemented by buffering the (bounded) forward
-  // range — slidb's reverse scans are short (newest order per customer /
-  // district) so this stays cheap and avoids backward latch coupling.
-  std::vector<std::pair<uint64_t, uint64_t>> buf;
-  Scan(lo, hi, [&](uint64_t k, uint64_t v) {
-    buf.emplace_back(k, v);
-    return true;
-  });
-  for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
-    if (!fn(it->first, it->second)) return;
+  ScopedComponent comp(Component::kStorage);
+  if (options_.sync_mode == BTreeOptions::SyncMode::kOptimistic) {
+    ScanReverseOptimistic(lo, hi, fn);
+  } else {
+    ScanReverseCrabbing(lo, hi, fn);
   }
 }
 

@@ -75,7 +75,10 @@ class BTree {
             const std::function<bool(uint64_t key, uint64_t value)>& fn) const;
 
   /// Visit entries in REVERSE order with lo <= key <= hi (newest-first
-  /// scans, e.g. "most recent order"); return false to stop.
+  /// scans, e.g. "most recent order"); return false to stop. Bounded
+  /// memory: entries are surfaced one leaf at a time through a kFanout-sized
+  /// stack buffer (leaves have no back links, so each chunk re-descends from
+  /// the root — O(log n) per leaf, O(1) space in the range length).
   void ScanReverse(
       uint64_t lo, uint64_t hi,
       const std::function<bool(uint64_t key, uint64_t value)>& fn) const;
@@ -112,11 +115,17 @@ class BTree {
   void ScanOptimistic(
       uint64_t lo, uint64_t hi,
       const std::function<bool(uint64_t key, uint64_t value)>& fn) const;
+  void ScanReverseOptimistic(
+      uint64_t lo, uint64_t hi,
+      const std::function<bool(uint64_t key, uint64_t value)>& fn) const;
 
   // ---- legacy latch-crabbing paths (BTreeOptions::SyncMode::kCrabbing) ----
   Status InsertCrabbing(uint64_t key, uint64_t value);
   Status RemoveCrabbing(uint64_t key, uint64_t value);
   void ScanCrabbing(
+      uint64_t lo, uint64_t hi,
+      const std::function<bool(uint64_t key, uint64_t value)>& fn) const;
+  void ScanReverseCrabbing(
       uint64_t lo, uint64_t hi,
       const std::function<bool(uint64_t key, uint64_t value)>& fn) const;
 

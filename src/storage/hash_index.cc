@@ -1,5 +1,6 @@
 #include "src/storage/hash_index.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "src/util/epoch.h"
@@ -96,9 +97,17 @@ Status HashIndex::Insert(uint64_t key, uint64_t value) {
   // Publish fully initialized: readers reach the node only through this
   // release store (or a later one ordered after it).
   slot.store(node, std::memory_order_release);
-  ++s.count;
+  s.count.fetch_add(1, std::memory_order_relaxed);
   size_.fetch_add(1, std::memory_order_relaxed);
-  if (s.count > (t->mask + 1) * kGrowLoadFactor) GrowLocked(s, t);
+  // Grow until the *shared* shard occupancy meets the target, doubling as
+  // many times as needed: a single doubling per insert lets a burst of
+  // writers that all sampled a stale pre-grow count leave the shard far
+  // past its load factor.
+  while (s.count.load(std::memory_order_relaxed) >
+         (t->mask + 1) * kGrowLoadFactor) {
+    GrowLocked(s, t);
+    t = s.table.load(std::memory_order_relaxed);
+  }
   s.latch.WriteUnlock();
   return Status::OK();
 }
@@ -117,7 +126,7 @@ Status HashIndex::Remove(uint64_t key, uint64_t value) {
       // `next`) and is freed only after its epoch grace period.
       link->store(n->next.load(std::memory_order_relaxed),
                   std::memory_order_release);
-      --s.count;
+      s.count.fetch_sub(1, std::memory_order_relaxed);
       size_.fetch_sub(1, std::memory_order_relaxed);
       s.latch.WriteUnlock();
       EpochManager::Global().Retire(
@@ -145,6 +154,19 @@ void HashIndex::ForEach(
     }
     s.latch.WriteUnlock();
   }
+}
+
+double HashIndex::MaxShardLoadFactor() const {
+  double worst = 0.0;
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    const Shard& s = *shards_[i];
+    const Table* t = s.table.load(std::memory_order_acquire);
+    const double lf =
+        static_cast<double>(s.count.load(std::memory_order_relaxed)) /
+        static_cast<double>(t->mask + 1);
+    worst = std::max(worst, lf);
+  }
+  return worst;
 }
 
 Status HashIndex::Lookup(uint64_t key, uint64_t* value) const {

@@ -51,6 +51,12 @@ class HashIndex {
 
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
+  /// Worst shard's live-nodes / buckets ratio (approximate: reads shared
+  /// occupancy and the current table latch-free). Test / stats support for
+  /// the grow policy: stays near the configured load-factor target no
+  /// matter how inserts are distributed across writers.
+  double MaxShardLoadFactor() const;
+
  private:
   /// Chain node. `key`/`value` are written only before publication (the
   /// release store linking the node), so optimistic readers that reached
@@ -75,7 +81,11 @@ class HashIndex {
   struct Shard {
     OptLatch latch;             ///< readers validate, writers lock exclusively
     std::atomic<Table*> table;  ///< current bucket array
-    size_t count = 0;           ///< live nodes; writer-only, under the latch
+    /// Live nodes in the shard. Atomic so the grow trigger (and the load-
+    /// factor probe below) read the shared occupancy directly instead of a
+    /// value that was only coherent for the writer that last held the
+    /// latch; mutations still happen under the write latch.
+    std::atomic<size_t> count{0};
   };
 
   static uint64_t Mix(uint64_t key) {

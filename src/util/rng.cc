@@ -1,5 +1,6 @@
 #include "src/util/rng.h"
 
+#include <bit>
 #include <cmath>
 
 namespace slidb {
@@ -14,26 +15,82 @@ double Zeta(uint64_t n, double theta) {
   return sum;
 }
 
+/// Gray's alpha = 1/(1-theta) blows up at theta = 1; clamping theta to
+/// 1 ± kThetaEpsilon keeps every derived quantity finite while staying
+/// statistically indistinguishable from the harmonic case for any n that
+/// fits in memory (the mass assigned to each rank shifts by O(eps*ln n)).
+constexpr double kThetaEpsilon = 1e-4;
+
+double ClampTheta(double theta) {
+  if (theta > 1.0 - kThetaEpsilon && theta < 1.0 + kThetaEpsilon) {
+    return theta < 1.0 ? 1.0 - kThetaEpsilon : 1.0 + kThetaEpsilon;
+  }
+  return theta;
+}
+
 }  // namespace
 
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
-    : n_(n), theta_(theta) {
-  zetan_ = Zeta(n, theta);
-  zeta2_ = Zeta(2, theta);
-  alpha_ = 1.0 / (1.0 - theta);
-  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+    : n_(n), theta_(ClampTheta(theta)) {
+  zetan_ = Zeta(n, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) /
          (1.0 - zeta2_ / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta_);
 }
 
-uint64_t ZipfGenerator::Next(Rng& rng) {
+uint64_t ZipfGenerator::Next(Rng& rng) const {
   const double u = rng.NextDouble();
   const double uz = u * zetan_;
   if (uz < 1.0) return 1;
-  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  if (uz < 1.0 + half_pow_theta_) return 2;
   const uint64_t v = 1 + static_cast<uint64_t>(
                              static_cast<double>(n_) *
                              std::pow(eta_ * u - eta_ + 1.0, alpha_));
   return v > n_ ? n_ : v;
+}
+
+ScrambledZipfGenerator::ScrambledZipfGenerator(uint64_t n, double theta,
+                                               uint64_t salt)
+    : zipf_(n, theta), salt_(salt) {
+  // Feistel domain: the smallest even-bit-width power of two >= n. Cycle
+  // walking (re-permute while the image lands outside [0, n)) shrinks the
+  // bijection to exactly [0, n); the domain is < 4n, so the walk expects
+  // fewer than 4 steps.
+  const uint32_t bits = n <= 1 ? 1 : static_cast<uint32_t>(std::bit_width(n - 1));
+  half_bits_ = (bits + 1) / 2;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+}
+
+uint64_t ScrambledZipfGenerator::Permute(uint64_t x) const {
+  // Four Feistel rounds with an FNV-1a-style round function. Any round
+  // function yields a bijection on (left, right) pairs; FNV + avalanche
+  // shifts make it look random enough to scatter adjacent ranks.
+  uint64_t left = x >> half_bits_;
+  uint64_t right = x & half_mask_;
+  for (uint64_t round = 0; round < 4; ++round) {
+    uint64_t h = 0xcbf29ce484222325ULL ^ (salt_ + round);
+    h = (h ^ right) * 0x100000001b3ULL;
+    h ^= h >> 29;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 32;
+    const uint64_t next_right = left ^ (h & half_mask_);
+    left = right;
+    right = next_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t ScrambledZipfGenerator::Scramble(uint64_t rank) const {
+  // Cycle-walk: Permute is a bijection on [0, 2^(2*half_bits)), so iterating
+  // it from a start point < n must come back to the start eventually —
+  // the first iterate that lands in [0, n) defines a bijection on [0, n).
+  uint64_t x = rank - 1;
+  do {
+    x = Permute(x);
+  } while (x >= zipf_.n());
+  return x + 1;
 }
 
 }  // namespace slidb

@@ -88,13 +88,21 @@ class Rng {
 
 /// Zipf-distributed generator over [1, n] with exponent theta, using the
 /// Gray et al. rejection-free method. Used by synthetic hot-spot workloads.
+///
+/// theta is clamped away from 1.0 by a small epsilon: the quantile formula's
+/// alpha = 1/(1-theta) is singular at exactly 1 (the harmonic case), and for
+/// any practical n the clamped distribution is statistically
+/// indistinguishable from it. theta > 1 is supported (eta and alpha both go
+/// negative and the formula stays a valid quantile map).
 class ZipfGenerator {
  public:
   ZipfGenerator(uint64_t n, double theta);
 
-  uint64_t Next(Rng& rng);
+  uint64_t Next(Rng& rng) const;
 
   uint64_t n() const { return n_; }
+  /// The effective (possibly epsilon-clamped) exponent.
+  double theta() const { return theta_; }
 
  private:
   uint64_t n_;
@@ -103,6 +111,39 @@ class ZipfGenerator {
   double zetan_;
   double eta_;
   double zeta2_;
+  double half_pow_theta_;  ///< 0.5^theta, hoisted out of Next()
+};
+
+/// Zipf-distributed ranks pushed through a deterministic bijective
+/// permutation of [1, n], so the popular keys land scattered across the key
+/// space instead of being the adjacent ids 1, 2, 3, ... co-located on one
+/// B+-tree leaf — a plain ZipfGenerator over primary keys conflates
+/// page/latch contention with lock contention. Same idea as the
+/// FNV-scrambled Zipf generators in RDMA locking harnesses, but implemented
+/// as a true bijection (hash-based Feistel rounds + cycle walking) instead
+/// of hash-mod-n, so every key in [1, n] is hit by exactly one rank.
+class ScrambledZipfGenerator {
+ public:
+  ScrambledZipfGenerator(uint64_t n, double theta, uint64_t salt = 0x51db);
+
+  /// Draw a key in [1, n]; key popularity follows Zipf(theta) but the
+  /// popular keys are spread pseudo-randomly over the domain.
+  uint64_t Next(Rng& rng) const { return Scramble(zipf_.Next(rng)); }
+
+  /// The rank -> key bijection on [1, n] (rank 1 = hottest key).
+  uint64_t Scramble(uint64_t rank) const;
+
+  uint64_t n() const { return zipf_.n(); }
+  const ZipfGenerator& zipf() const { return zipf_; }
+
+ private:
+  /// One Feistel pass: a bijection on [0, 2^(2*half_bits)).
+  uint64_t Permute(uint64_t x) const;
+
+  ZipfGenerator zipf_;
+  uint64_t salt_;
+  uint32_t half_bits_;   ///< bits per Feistel half; domain = 2^(2*half_bits)
+  uint64_t half_mask_;
 };
 
 }  // namespace slidb

@@ -198,6 +198,116 @@ TEST(BTreeTest, ReverseScanNewestFirst) {
   EXPECT_EQ(newest, 30u);
 }
 
+// ---- reverse scan (bounded-memory chunked re-descent) ----
+
+class BTreeReverseScanSweep : public ::testing::TestWithParam<SyncMode> {};
+
+TEST_P(BTreeReverseScanSweep, FullReverseScanIsForwardReversed) {
+  // Multi-level tree with duplicate keys: the reverse scan must deliver
+  // exactly the forward (key, value) sequence, reversed.
+  BTree tree(WithMode(GetParam()));
+  Rng rng(71);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    // Random keys collide; (key, value) pairs stay unique via the value.
+    ASSERT_TRUE(tree.Insert(rng.Uniform(0, 2000), i).ok());
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> fwd, rev;
+  tree.Scan(0, UINT64_MAX, [&](uint64_t k, uint64_t v) {
+    fwd.emplace_back(k, v);
+    return true;
+  });
+  tree.ScanReverse(0, UINT64_MAX, [&](uint64_t k, uint64_t v) {
+    rev.emplace_back(k, v);
+    return true;
+  });
+  std::reverse(rev.begin(), rev.end());
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST_P(BTreeReverseScanSweep, BoundsInclusiveOnAbsentEndpoints) {
+  BTree tree(WithMode(GetParam()));
+  for (uint64_t i = 0; i < 1000; i += 2) {  // even keys only
+    ASSERT_TRUE(tree.Insert(i, i).ok());
+  }
+  std::vector<uint64_t> seen;
+  tree.ScanReverse(100, 200, [&](uint64_t k, uint64_t) {
+    seen.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 51u);  // 200,198,...,100
+  EXPECT_EQ(seen.front(), 200u);
+  EXPECT_EQ(seen.back(), 100u);
+
+  seen.clear();
+  tree.ScanReverse(101, 199, [&](uint64_t k, uint64_t) {
+    seen.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 49u);
+  EXPECT_EQ(seen.front(), 198u);
+  EXPECT_EQ(seen.back(), 102u);
+}
+
+TEST_P(BTreeReverseScanSweep, ManyDuplicatesDescendByValue) {
+  // One key spanning ~150 leaves: the chunked walk crosses many same-key
+  // leaves via the fence cursor and must emit values strictly descending.
+  BTree tree(WithMode(GetParam()));
+  constexpr uint64_t kVals = 10000;
+  ASSERT_TRUE(tree.Insert(8, 0).ok());
+  ASSERT_TRUE(tree.Insert(10, 0).ok());
+  for (uint64_t v = 0; v < kVals; ++v) {
+    ASSERT_TRUE(tree.Insert(9, v).ok());
+  }
+  uint64_t expect = kVals - 1;
+  size_t count = 0;
+  tree.ScanReverse(9, 9, [&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(k, 9u);
+    EXPECT_EQ(v, expect);
+    --expect;
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, kVals);
+}
+
+TEST_P(BTreeReverseScanSweep, EarlyStop) {
+  BTree tree(WithMode(GetParam()));
+  for (uint64_t i = 0; i < 1000; ++i) ASSERT_TRUE(tree.Insert(i, i).ok());
+  int visits = 0;
+  tree.ScanReverse(0, UINT64_MAX, [&](uint64_t k, uint64_t) {
+    EXPECT_EQ(k, 999u - visits);
+    return ++visits < 5;
+  });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST_P(BTreeReverseScanSweep, EmptyRangesVisitNothing) {
+  BTree empty(WithMode(GetParam()));
+  int visits = 0;
+  empty.ScanReverse(0, UINT64_MAX, [&](uint64_t, uint64_t) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+
+  BTree tree(WithMode(GetParam()));
+  for (uint64_t i = 0; i <= 1000; i += 10) {  // multiples of ten
+    ASSERT_TRUE(tree.Insert(i, i).ok());
+  }
+  tree.ScanReverse(101, 109, [&](uint64_t, uint64_t) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BTreeReverseScanSweep,
+                         ::testing::Values(SyncMode::kOptimistic,
+                                           SyncMode::kCrabbing),
+                         [](const ::testing::TestParamInfo<SyncMode>& info) {
+                           return ModeName(info.param);
+                         });
+
 class BTreeConcurrentModeTest : public ::testing::TestWithParam<SyncMode> {};
 
 TEST_P(BTreeConcurrentModeTest, ConcurrentInsertersDisjointRanges) {

@@ -265,6 +265,39 @@ TEST(HashIndexTest, GrowthKeepsEveryEntry) {
   EXPECT_TRUE(idx.Lookup(kKeys + 1, &v).IsNotFound());
 }
 
+TEST(HashIndexTest, ConcurrentInsertBurstKeepsLoadFactorBounded) {
+  // Regression for writer-local grow accounting: concurrent inserters into
+  // one shard each used to trigger growth off their own insert only, so a
+  // burst that all sampled a stale pre-grow table could leave the shard far
+  // past its target load factor. The shared atomic occupancy count plus the
+  // grow-until-met loop bound the final state regardless of interleaving.
+  HashIndex idx(1);  // single shard concentrates the burst
+  constexpr int kThreads = 4;
+  constexpr uint64_t kEach = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const uint64_t base = static_cast<uint64_t>(t) * 1'000'000;
+      for (uint64_t i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(idx.Insert(base + i, i).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(idx.size(), static_cast<uint64_t>(kThreads) * kEach);
+  // kGrowLoadFactor = 2: the last insert's grow loop leaves mean chain
+  // length at or under two.
+  EXPECT_LE(idx.MaxShardLoadFactor(), 2.0);
+  uint64_t v = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    const uint64_t base = static_cast<uint64_t>(t) * 1'000'000;
+    for (uint64_t i = 0; i < kEach; i += 97) {
+      ASSERT_TRUE(idx.Lookup(base + i, &v).ok()) << base + i;
+      EXPECT_EQ(v, i);
+    }
+  }
+}
+
 TEST(HashIndexTest, ConcurrentReadersSeeConsistentEntries) {
   // Writers churn disjoint key ranges (insert then remove evens) while
   // readers hammer the whole space through the optimistic path. Assertions

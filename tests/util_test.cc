@@ -1,6 +1,7 @@
 // Unit tests for the utility substrate: Status, latches, RNG, histogram.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -194,6 +195,104 @@ TEST(ZipfTest, SkewsTowardSmallValues) {
   }
   // With theta=0.99 the top-10 of 1000 should draw far more than 1% of mass.
   EXPECT_GT(low, kN / 10);
+}
+
+TEST(ZipfTest, ThetaOneIsValid) {
+  // theta == 1.0 is the harmonic case where the quantile formula's
+  // alpha = 1/(1-theta) is singular; the generator clamps theta by a small
+  // epsilon and must keep producing in-range, properly skewed draws.
+  Rng rng(19);
+  ZipfGenerator zipf(1000, 1.0);
+  EXPECT_NEAR(zipf.theta(), 1.0, 1e-3);
+  int low = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const uint64_t v = zipf.Next(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    if (v <= 10) ++low;
+  }
+  EXPECT_GT(low, kN / 10);
+}
+
+TEST(ZipfTest, MassConcentrationGrowsWithTheta) {
+  // The contention bench's sweep axis: higher theta must put strictly more
+  // mass on the top ranks (theta=0 degenerates to uniform).
+  constexpr double kThetas[] = {0.0, 0.6, 0.9, 0.99, 1.2};
+  constexpr int kN = 40000;
+  double prev = -1.0;
+  for (double theta : kThetas) {
+    Rng rng(23);
+    ZipfGenerator zipf(1000, theta);
+    int top = 0;
+    for (int i = 0; i < kN; ++i) {
+      if (zipf.Next(rng) <= 10) ++top;
+    }
+    const double frac = static_cast<double>(top) / kN;
+    EXPECT_GT(frac, prev) << "theta=" << theta;
+    prev = frac;
+  }
+}
+
+TEST(ScrambledZipfTest, ScrambleIsBijection) {
+  // Scramble must be a permutation of [1, n] — every key hit by exactly one
+  // rank — including domains far from a power of two (cycle walking) and
+  // the degenerate n=1.
+  for (const uint64_t n : {uint64_t{1}, uint64_t{2}, uint64_t{5}, uint64_t{64},
+                           uint64_t{1000}, uint64_t{65539}}) {
+    ScrambledZipfGenerator gen(n, 0.99);
+    std::vector<uint64_t> keys;
+    keys.reserve(n);
+    for (uint64_t rank = 1; rank <= n; ++rank) {
+      const uint64_t key = gen.Scramble(rank);
+      ASSERT_GE(key, 1u) << "n=" << n << " rank=" << rank;
+      ASSERT_LE(key, n) << "n=" << n << " rank=" << rank;
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    ASSERT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+        << "duplicate key for n=" << n;
+  }
+}
+
+TEST(ScrambledZipfTest, NextDrawsWithinRangeAndFavorsHotKey) {
+  Rng rng(29);
+  ScrambledZipfGenerator gen(1000, 1.2);
+  const uint64_t hot = gen.Scramble(1);
+  int hot_hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const uint64_t v = gen.Next(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    if (v == hot) ++hot_hits;
+  }
+  // Rank 1 under theta=1.2 carries far more than the uniform 1/1000.
+  EXPECT_GT(hot_hits, kN / 50);
+}
+
+TEST(ScrambledZipfTest, HotRanksScatterAcrossKeySpace) {
+  // The point of scrambling: the popular ranks must not map to adjacent
+  // ids co-located on a single 64-entry B+-tree leaf, which would conflate
+  // page/latch contention with the lock contention the scenarios target.
+  ScrambledZipfGenerator gen(100'000, 0.99);
+  uint64_t lo = UINT64_MAX, hi = 0;
+  for (uint64_t rank = 1; rank <= 8; ++rank) {
+    const uint64_t key = gen.Scramble(rank);
+    lo = std::min(lo, key);
+    hi = std::max(hi, key);
+  }
+  EXPECT_GT(hi - lo, 64u);
+}
+
+TEST(ScrambledZipfTest, SaltChangesThePermutation) {
+  ScrambledZipfGenerator a(4096, 0.99, /*salt=*/1);
+  ScrambledZipfGenerator b(4096, 0.99, /*salt=*/2);
+  int differs = 0;
+  for (uint64_t rank = 1; rank <= 4096; ++rank) {
+    if (a.Scramble(rank) != b.Scramble(rank)) ++differs;
+  }
+  EXPECT_GT(differs, 2048);
 }
 
 TEST(HistogramTest, BasicStats) {

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "src/workload/contention.h"
 #include "src/workload/driver.h"
 #include "src/workload/tm1.h"
 #include "src/workload/tpcb.h"
@@ -284,6 +285,68 @@ TEST(TpccTest, LastNameGeneratorMatchesSpecShape) {
   // Hash is stable and 16-bit.
   EXPECT_EQ(TpccNameHash("BARBARBAR"), TpccNameHash("BARBARBAR"));
   EXPECT_LE(TpccNameHash("EINGEINGEING"), 0xffffu);
+}
+
+// ---- contention scenarios ----
+
+constexpr ContentionScenario kAllScenarios[] = {
+    ContentionScenario::kZipfMix, ContentionScenario::kFlashSale,
+    ContentionScenario::kAuction, ContentionScenario::kSocialFeed};
+
+TEST(ContentionTest, SingleTransactionsCommit) {
+  // Single agent: no conflicts possible, every transaction must commit.
+  for (ContentionScenario sc : kAllScenarios) {
+    Database db(SmallDbOptions(false));
+    ContentionOptions copts;
+    copts.scenario = sc;
+    copts.num_items = 500;
+    copts.reads_per_txn = 4;
+    ContentionWorkload wl(copts);
+    wl.Load(db);
+    EXPECT_GE(wl.hot_key(), 1u);
+    EXPECT_LE(wl.hot_key(), copts.num_items);
+
+    auto agent = db.CreateAgent(41);
+    for (int i = 0; i < 100; ++i) {
+      const Status st = wl.RunOne(db, *agent);
+      ASSERT_TRUE(st.ok())
+          << ContentionScenarioName(sc) << ": " << st.ToString();
+    }
+  }
+}
+
+TEST(ContentionTest, ScenariosRunConcurrentlyAndReportHeat) {
+  for (ContentionScenario sc : kAllScenarios) {
+    DatabaseOptions dbo = SmallDbOptions(false);
+    dbo.lock.hot_min_contended = 2;
+    dbo.lock.hot_exit_contended = 0;
+    Database db(dbo);
+    ContentionOptions copts;
+    copts.scenario = sc;
+    copts.num_items = 2000;
+    copts.theta = 0.99;
+    copts.reads_per_txn = 4;
+    ContentionWorkload wl(copts);
+    wl.Load(db);
+
+    DriverOptions dopts;
+    dopts.num_agents = 2;
+    dopts.duration_s = 0.3;
+    dopts.warmup_s = 0.05;
+    const DriverResult off = RunWorkload(db, wl, dopts);
+    EXPECT_GT(off.commits, 0u) << ContentionScenarioName(sc);
+    EXPECT_EQ(off.counters.Get(Counter::kSliInherited), 0u);
+
+    // Adaptive mode between runs (the bench's ablation knob): still
+    // commits, and the heat probe sees the live lock heads.
+    db.SetSliMode(SliMode::kAdaptive);
+    const DriverResult adaptive = RunWorkload(db, wl, dopts);
+    EXPECT_GT(adaptive.commits, 0u) << ContentionScenarioName(sc);
+
+    const ContentionHeatReport heat = ContentionWorkload::MeasureHeat(db);
+    EXPECT_GT(heat.heads, 0u) << ContentionScenarioName(sc);
+    EXPECT_GT(heat.total_acquires, 0u) << ContentionScenarioName(sc);
+  }
 }
 
 // ---- driver ----
