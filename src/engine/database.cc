@@ -9,6 +9,7 @@
 namespace slidb {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  governor_.SetOptions(options_.governor);
   volume_ = std::make_unique<Volume>();
   buffer_pool_ = std::make_unique<BufferPool>(volume_.get(), options_.buffer);
   if (!options_.log_path.empty() && !options_.log.flush_sink) {
@@ -139,10 +140,28 @@ Transaction* Database::Begin(AgentContext* agent) {
 }
 
 Status Database::Commit(AgentContext* agent) {
-  return txn_manager_->Commit(agent);
+  const Status st = txn_manager_->Commit(agent);
+  FinishAdmission(agent);
+  return st;
 }
 
-void Database::Abort(AgentContext* agent) { txn_manager_->Abort(agent); }
+void Database::Abort(AgentContext* agent) {
+  txn_manager_->Abort(agent);
+  FinishAdmission(agent);
+}
+
+Status Database::AdmitTxn(AgentContext* agent) {
+  if (!governor_.enabled()) return Status::OK();
+  const Status st = governor_.Admit(agent->txn_deadline_ns());
+  if (st.ok()) agent->set_holds_admission(true);
+  return st;
+}
+
+void Database::FinishAdmission(AgentContext* agent) {
+  if (!agent->holds_admission()) return;
+  agent->set_holds_admission(false);
+  governor_.Release();
+}
 
 Status Database::LockRow(AgentContext* agent, TableId table, Rid rid,
                          LockMode mode) {

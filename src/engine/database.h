@@ -14,6 +14,7 @@
 #include "src/buffer/buffer_pool.h"
 #include "src/buffer/volume.h"
 #include "src/engine/catalog.h"
+#include "src/engine/governor.h"
 #include "src/lock/lock_manager.h"
 #include "src/log/log_device.h"
 #include "src/log/log_manager.h"
@@ -51,6 +52,8 @@ struct DatabaseOptions {
   /// Nonzero: run a background fuzzy checkpointer at this cadence.
   /// CheckpointNow() works either way.
   uint32_t checkpoint_interval_ms = 0;
+  /// Admission governor limits (defaults off — every AdmitTxn succeeds).
+  GovernorOptions governor;
 };
 
 class Checkpointer;  // engine/checkpointer.h
@@ -78,6 +81,20 @@ class Database {
   Transaction* Begin(AgentContext* agent);
   Status Commit(AgentContext* agent);
   void Abort(AgentContext* agent);
+
+  // ---- admission control (overload governor) ----
+
+  /// Ask the governor for an in-flight token before starting a transaction.
+  /// Honors the agent's txn deadline while queued. Returns a retryable
+  /// Overloaded/TimedOut without starting anything when shed; on OK the
+  /// token is held by the agent and returned automatically by the next
+  /// Commit/Abort (or an explicit FinishAdmission). A no-op returning OK
+  /// when the governor is disabled (GovernorOptions::max_inflight == 0).
+  Status AdmitTxn(AgentContext* agent);
+
+  /// Return the agent's admission token, if it holds one. Idempotent;
+  /// Commit/Abort call it implicitly.
+  void FinishAdmission(AgentContext* agent);
 
   // ---- crash recovery ----
   // Call on a freshly-constructed database after re-creating the schema
@@ -166,6 +183,7 @@ class Database {
 
   LockManager& lock_manager() { return *lock_manager_; }
   LogManager& log_manager() { return *log_manager_; }
+  AdmissionGovernor& governor() { return governor_; }
   /// The durable log device, or nullptr when the log is sink-less /
   /// test-captured (no DatabaseOptions::log_path).
   LogDevice* log_device() { return log_device_.get(); }
@@ -198,6 +216,7 @@ class Database {
   std::unique_ptr<LogManager> log_manager_;
   std::unique_ptr<LockManager> lock_manager_;
   std::unique_ptr<TransactionManager> txn_manager_;
+  AdmissionGovernor governor_;
   Catalog catalog_;
   // Declared last: destroyed first, so its background thread stops before
   // the managers it appends through are torn down.

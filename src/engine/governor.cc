@@ -1,0 +1,88 @@
+#include "src/engine/governor.h"
+
+#include <chrono>
+
+#include "src/stats/counters.h"
+#include "src/util/time_util.h"
+
+namespace slidb {
+
+Status AdmissionGovernor::Admit(uint64_t deadline_ns) {
+  if (options_.max_inflight == 0) return Status::OK();
+
+  std::unique_lock<std::mutex> lk(mu_);
+  // Fast path: a free token and nobody queued ahead of us. Letting a new
+  // arrival jump a non-empty queue would starve parked waiters under a
+  // steady arrival stream.
+  if (queued_ == 0 && inflight_ < options_.max_inflight) {
+    ++inflight_;
+    ++admitted_;
+    CountEvent(Counter::kGovAdmits);
+    return Status::OK();
+  }
+
+  if (queued_ >= options_.max_queue) {
+    ++shed_;
+    CountEvent(Counter::kGovSheds);
+    return Status::Overloaded("admission queue full");
+  }
+
+  ++queued_;
+  bool timed_out = false;
+  while (inflight_ >= options_.max_inflight) {
+    if (deadline_ns == 0) {
+      cv_.wait(lk);
+      continue;
+    }
+    const uint64_t now = NowNanos();
+    if (now >= deadline_ns) {
+      timed_out = true;
+      break;
+    }
+    cv_.wait_for(lk, std::chrono::nanoseconds(deadline_ns - now));
+  }
+  --queued_;
+  if (timed_out) {
+    ++queue_timeouts_;
+    CountEvent(Counter::kGovQueueTimeouts);
+    return Status::TimedOut("deadline expired in admission queue");
+  }
+  ++inflight_;
+  ++admitted_;
+  ++queued_admits_;
+  CountEvent(Counter::kGovAdmits);
+  CountEvent(Counter::kGovQueuedAdmits);
+  return Status::OK();
+}
+
+void AdmissionGovernor::Release() {
+  if (options_.max_inflight == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (inflight_ > 0) --inflight_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionGovernor::SetOptions(GovernorOptions options) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    options_ = options;
+  }
+  // Limits may have widened; let parked waiters re-check.
+  cv_.notify_all();
+}
+
+GovernorStats AdmissionGovernor::Stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  GovernorStats s;
+  s.admitted = admitted_;
+  s.queued_admits = queued_admits_;
+  s.shed = shed_;
+  s.queue_timeouts = queue_timeouts_;
+  s.inflight = inflight_;
+  s.queue_depth = queued_;
+  return s;
+}
+
+}  // namespace slidb

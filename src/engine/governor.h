@@ -1,0 +1,85 @@
+// Admission governor: the front gate of the overload story. A bounded pool
+// of in-flight transaction tokens plus a bounded entry queue in front of it.
+// Arrivals that find a free token start immediately; arrivals that find the
+// queue full are shed at once with a retryable Status::Overloaded — shedding
+// at the door is what keeps an overloaded system "fast, then flat" instead
+// of piling every excess client onto the hottest lock heads (Thomasian's
+// framing: bound the number of concurrently *active* transactions, reject
+// the rest early while they are still cheap).
+//
+// Queued arrivals honor the transaction deadline: a waiter whose response
+// budget expires before a token frees gives up with a retryable TimedOut,
+// so the entry queue never holds work that could not finish in time anyway.
+//
+// All knobs default off (max_inflight == 0 admits everything for free), so
+// existing callers and benches are unchanged unless they opt in.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "src/util/status.h"
+
+namespace slidb {
+
+struct GovernorOptions {
+  /// Maximum concurrently admitted transactions. 0 = admission disabled
+  /// (every Admit succeeds immediately and Release is a no-op).
+  uint32_t max_inflight = 0;
+  /// Maximum arrivals parked waiting for a token before new arrivals are
+  /// shed with Status::Overloaded. 0 = no queue: shed as soon as the
+  /// in-flight tokens are exhausted.
+  uint32_t max_queue = 0;
+};
+
+/// Cumulative totals plus an instantaneous occupancy snapshot.
+struct GovernorStats {
+  uint64_t admitted = 0;        ///< tokens granted (fast path + queued)
+  uint64_t queued_admits = 0;   ///< tokens granted after an entry-queue wait
+  uint64_t shed = 0;            ///< arrivals rejected with Overloaded
+  uint64_t queue_timeouts = 0;  ///< queued arrivals whose deadline expired
+  uint32_t inflight = 0;        ///< tokens currently held
+  uint32_t queue_depth = 0;     ///< arrivals currently parked
+};
+
+class AdmissionGovernor {
+ public:
+  explicit AdmissionGovernor(GovernorOptions options = {})
+      : options_(options) {}
+
+  AdmissionGovernor(const AdmissionGovernor&) = delete;
+  AdmissionGovernor& operator=(const AdmissionGovernor&) = delete;
+
+  /// Try to take an in-flight token. Returns OK once a token is held;
+  /// Overloaded (retryable) when the entry queue is full; TimedOut
+  /// (retryable) when `deadline_ns` (absolute, NowNanos clock; 0 = wait
+  /// forever) expires while queued. Every OK must be paired with exactly
+  /// one Release().
+  Status Admit(uint64_t deadline_ns = 0);
+
+  /// Return a token taken by a successful Admit and wake one queued waiter.
+  void Release();
+
+  bool enabled() const { return options_.max_inflight != 0; }
+  const GovernorOptions& options() const { return options_; }
+
+  /// Swap limits between runs (callers must hold no tokens). The documented
+  /// between-runs mutation, mirroring Database::SetSliMode.
+  void SetOptions(GovernorOptions options);
+
+  GovernorStats Stats() const;
+
+ private:
+  GovernorOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t inflight_ = 0;
+  uint32_t queued_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t queued_admits_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t queue_timeouts_ = 0;
+};
+
+}  // namespace slidb

@@ -36,9 +36,19 @@ class LockClient {
     held_head_ = nullptr;
     cache_.Clear();
     dep_lsn_ = 0;
+    deadline_ns_ = 0;
     deadlock_victim_.store(false, std::memory_order_relaxed);
     waiting_on_.store(nullptr, std::memory_order_relaxed);
   }
+
+  /// Absolute response deadline (NowNanos clock; 0 = none) for the current
+  /// transaction. Set once by TransactionManager::Begin; every blocking
+  /// point reads it: lock waits cap their budget at
+  /// min(lock_timeout, remaining deadline), the durable-commit wait parks a
+  /// DeferredAck instead of blocking past it, and Commit refuses to enter
+  /// once it has passed.
+  void SetDeadline(uint64_t deadline_ns) { deadline_ns_ = deadline_ns; }
+  uint64_t deadline_ns() const { return deadline_ns_; }
 
   /// Record a durability dependency: the acquired head was last written by
   /// a transaction whose commit record ends at `lsn` (0 = none). Commit
@@ -122,6 +132,7 @@ class LockClient {
  private:
   uint64_t txn_id_ = 0;
   uint64_t dep_lsn_ = 0;  ///< max durability dependency (single-threaded)
+  uint64_t deadline_ns_ = 0;  ///< absolute txn deadline; 0 = none
   uint32_t agent_id_ = 0;
   LockRequest* held_head_ = nullptr;
   LockCache cache_;

@@ -279,6 +279,20 @@ Status LockManager::AcquireNew(LockClient* c, const LockId& id,
     return Status::OK();
   }
 
+  // Wait-depth restriction (Thomasian): on a hot head, refuse to deepen the
+  // convoy past the configured limit — cancel now, while the transaction has
+  // invested nothing in this queue, rather than time out holding a slot.
+  if (options_.hot_wait_depth != 0 &&
+      h->waiter_count.load(std::memory_order_relaxed) >=
+          options_.hot_wait_depth &&
+      h->hot.IsHot(options_.hot_min_contended)) {
+    h->latch.Release();
+    table_.Unpin(h);  // the request never joined the queue; drop its pin
+    c->pool()->Free(req);
+    CountEvent(Counter::kLockWaitDepthCancels);
+    return Status::Overloaded("hot head at wait-depth limit");
+  }
+
   CountEvent(Counter::kLockWaits);
   req->status.store(RequestStatus::kWaiting, std::memory_order_release);
   h->Append(req);
@@ -321,6 +335,17 @@ Status LockManager::Upgrade(LockClient* c, LockRequest* r, LockMode mode) {
     return Status::OK();
   }
 
+  // Same wait-depth rule for upgrades; the already-granted request keeps
+  // its old mode and is released by the caller's abort.
+  if (options_.hot_wait_depth != 0 &&
+      h->waiter_count.load(std::memory_order_relaxed) >=
+          options_.hot_wait_depth &&
+      h->hot.IsHot(options_.hot_min_contended)) {
+    h->latch.Release();
+    CountEvent(Counter::kLockWaitDepthCancels);
+    return Status::Overloaded("hot head at wait-depth limit (upgrade)");
+  }
+
   CountEvent(Counter::kLockWaits);
   r->convert_to = target;
   r->status.store(RequestStatus::kConverting, std::memory_order_release);
@@ -340,7 +365,16 @@ Status LockManager::Upgrade(LockClient* c, LockRequest* r, LockMode mode) {
 
 Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
                                  bool* granted_anyway) {
-  const uint64_t deadline_us = NowMicros() + options_.lock_timeout_us;
+  uint64_t deadline_us = NowMicros() + options_.lock_timeout_us;
+  // The wait budget is min(lock_timeout, remaining txn deadline): a
+  // transaction past its response budget must stop occupying queue slots
+  // promptly, not after the lost-wakeup backstop.
+  bool deadline_capped = false;
+  if (const uint64_t txn_deadline_ns = c->deadline_ns();
+      txn_deadline_ns != 0 && txn_deadline_ns / 1000 < deadline_us) {
+    deadline_us = txn_deadline_ns / 1000;
+    deadline_capped = true;
+  }
   const uint64_t block_start = RdCycles();
   bool timed_out = false;
 
@@ -415,6 +449,10 @@ Status LockManager::WaitForGrant(LockClient* c, LockRequest* r,
     c->deadlock_victim().store(false, std::memory_order_release);
     CountEvent(Counter::kDeadlocks);
     return Status::Deadlock();
+  }
+  if (deadline_capped) {
+    CountEvent(Counter::kLockDeadlineCancels);
+    return Status::TimedOut("txn deadline during lock wait");
   }
   CountEvent(Counter::kLockTimeouts);
   return Status::TimedOut();

@@ -82,8 +82,17 @@ struct LockManagerOptions {
   /// before discarding it (0 = paper's "do nothing" default).
   uint32_t sli_hysteresis = 0;
 
-  /// Backstop for lost wakeups / undetected deadlocks.
+  /// Backstop for lost wakeups / undetected deadlocks. Per-wait budgets are
+  /// min(lock_timeout_us, the transaction's remaining deadline) when the
+  /// LockClient carries a deadline.
   uint64_t lock_timeout_us = 5'000'000;
+
+  /// Thomasian-style wait-depth restriction, driven by the per-head heat
+  /// signal: when nonzero and a head is hot (HotTracker window at
+  /// hot_min_contended), a request that would queue behind this many
+  /// waiters is cancelled immediately with a retryable Status::Overloaded
+  /// instead of deepening the convoy. 0 = off (default).
+  uint32_t hot_wait_depth = 0;
 
   /// Waits-for-graph detector; runs in a background thread.
   bool enable_deadlock_detector = true;

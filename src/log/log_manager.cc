@@ -406,6 +406,40 @@ void LogManager::WaitDurable(Lsn lsn) {
   }
 }
 
+bool LogManager::WaitDurableUntil(Lsn lsn, uint64_t deadline_ns) {
+  if (!options_.durable_commit) return true;
+  if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return true;
+  if (deadline_ns == 0) {
+    WaitDurable(lsn);
+    return true;
+  }
+  ScopedComponent comp(Component::kLog);
+  const uint64_t t0 = RdCycles();
+  // Poll at flush cadence: the durable LSN only advances when the flusher
+  // runs, so re-checking once per flush interval observes a hardening
+  // within ~one flush period without the per-thread settlement node (which
+  // cannot be abandoned mid-wait — the flusher would settle freed memory).
+  const uint64_t poll_ns =
+      std::max<uint64_t>(options_.flush_interval_us * 1000, 1'000);
+  bool durable;
+  {
+    std::unique_lock<std::mutex> lk(flush_mu_);
+    flush_cv_.notify_one();
+    for (;;) {
+      durable = durable_lsn_.load(std::memory_order_acquire) >= lsn;
+      if (durable || stop_) break;
+      const uint64_t now = NowNanos();
+      if (now >= deadline_ns) break;
+      durable_cv_.wait_for(
+          lk, std::chrono::nanoseconds(std::min(poll_ns, deadline_ns - now)));
+    }
+  }
+  if (ThreadProfile* p = ThreadProfile::Current()) {
+    p->AttributeBlocked(t0, RdCycles());
+  }
+  return durable;
+}
+
 bool LogManager::ParkDeferred(DeferredAck* ack) {
   // Inline settle when the horizon is already durable (the common case on
   // read-mostly workloads: the observed writers hardened flushes ago) or

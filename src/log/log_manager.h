@@ -133,6 +133,14 @@ class LogManager {
   /// Block until everything up to `lsn` is durable (group commit).
   void WaitDurable(Lsn lsn);
 
+  /// Deadline-bounded WaitDurable: block until `lsn` is durable or the
+  /// absolute deadline (NowNanos clock) passes, whichever is first. Returns
+  /// true when durable. `deadline_ns == 0` degrades to WaitDurable (always
+  /// true). Unlike WaitDurable's per-thread settlement node this polls the
+  /// durable LSN at flush cadence under the flush mutex — an abandoned wait
+  /// must leave no node behind for the flusher to settle.
+  bool WaitDurableUntil(Lsn lsn, uint64_t deadline_ns);
+
   /// Asynchronous alternative to WaitDurable (speculative commits): park
   /// `ack` — its `lsn` and `park_ns` already filled by the caller — on the
   /// dependency-settlement queue and return immediately. The flusher

@@ -72,6 +72,16 @@ const char* CounterName(Counter c) {
     case Counter::kTxnDeferredAcks: return "txn.deferred_acks";
     case Counter::kTxnDepSettleNs: return "txn.dep_settle_ns";
     case Counter::kTxnDepAbortedAcks: return "txn.dep_aborted_acks";
+    case Counter::kGovAdmits: return "gov.admits";
+    case Counter::kGovQueuedAdmits: return "gov.queued_admits";
+    case Counter::kGovSheds: return "gov.sheds";
+    case Counter::kGovQueueTimeouts: return "gov.queue_timeouts";
+    case Counter::kLockWaitDepthCancels: return "lock.wait_depth_cancels";
+    case Counter::kLockDeadlineCancels: return "lock.deadline_cancels";
+    case Counter::kTxnDeadlineAborts: return "txn.deadline_aborts";
+    case Counter::kTxnDeadlineDeferredAcks: return "txn.deadline_deferred_acks";
+    case Counter::kTxnRetries: return "txn.retries";
+    case Counter::kTxnRetriesExhausted: return "txn.retries_exhausted";
     case Counter::kNumCounters: break;
   }
   return "?";

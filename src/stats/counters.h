@@ -102,6 +102,20 @@ enum class Counter : uint32_t {
   kTxnDepAbortedAcks,  ///< parked acks settled as LOST (dependency horizon
                        ///< never became durable — shutdown / crash path)
 
+  // -- overload governor / deadlines --
+  kGovAdmits,          ///< transactions granted an in-flight token
+  kGovQueuedAdmits,    ///< admissions that waited in the entry queue first
+  kGovSheds,           ///< arrivals shed immediately (entry queue full)
+  kGovQueueTimeouts,   ///< queued arrivals whose deadline expired waiting
+  kLockWaitDepthCancels, ///< enqueues cancelled: hot head at wait-depth limit
+  kLockDeadlineCancels,  ///< lock waits cut short by the txn deadline (the
+                         ///< min(lock_timeout, remaining_deadline) path)
+  kTxnDeadlineAborts,    ///< commit entry refused: deadline already passed
+  kTxnDeadlineDeferredAcks, ///< durable waits past deadline parked as
+                            ///< DeferredAcks instead of blocking on
+  kTxnRetries,           ///< driver re-submissions after a retryable abort
+  kTxnRetriesExhausted,  ///< transactions dropped at the attempt budget
+
   kNumCounters,
 };
 

@@ -48,6 +48,18 @@ class AgentContext {
   /// the agent. No-op when nothing is outstanding.
   void DrainDeferredAcks() { deferred_acks_.Drain(); }
 
+  /// Absolute response deadline (NowNanos clock) for this agent's NEXT /
+  /// current transaction; 0 = none. Begin() snapshots it into the
+  /// LockClient, from where every blocking point (lock waits, the
+  /// durable-commit wait) reads it. Set per arrival by open-loop drivers.
+  uint64_t txn_deadline_ns() const { return txn_deadline_ns_; }
+  void set_txn_deadline_ns(uint64_t ns) { txn_deadline_ns_ = ns; }
+
+  /// Whether this agent currently holds an admission-governor token
+  /// (Database::AdmitTxn / FinishAdmission bookkeeping).
+  bool holds_admission() const { return holds_admission_; }
+  void set_holds_admission(bool held) { holds_admission_ = held; }
+
  private:
   uint32_t id_;
   Transaction txn_;
@@ -57,6 +69,8 @@ class AgentContext {
   Histogram latency_;
   Rng rng_;
   DeferredAckRing deferred_acks_;
+  uint64_t txn_deadline_ns_ = 0;
+  bool holds_admission_ = false;
 };
 
 }  // namespace slidb

@@ -21,6 +21,15 @@ Transaction* TransactionManager::Begin(AgentContext* agent) {
   }
   txn.Reset(next_txn_id_.fetch_add(1, std::memory_order_relaxed),
             agent->id());
+  // Snapshot the response deadline into the LockClient, where every
+  // blocking point (lock waits, the durable-commit wait) can read it. The
+  // agent's per-arrival deadline wins; the TxnOptions default covers API
+  // callers that never touch AgentContext deadlines.
+  uint64_t deadline_ns = agent->txn_deadline_ns();
+  if (deadline_ns == 0 && options_.txn_deadline_us != 0) {
+    deadline_ns = NowNanos() + options_.txn_deadline_us * 1'000;
+  }
+  txn.lock_client().SetDeadline(deadline_ns);
   lock_manager_->AdoptInherited(&txn.lock_client(), &agent->sli());
   return &txn;
 }
@@ -167,7 +176,8 @@ void TransactionManager::CommitWaitDurable(Lsn lsn) {
 
 void TransactionManager::CommitExternalize(AgentContext* agent, Lsn horizon) {
   if (horizon == 0) return;
-  if (!options_.speculative_reads) {
+  const uint64_t deadline_ns = agent->txn().lock_client().deadline_ns();
+  if (!options_.speculative_reads && deadline_ns == 0) {
     CommitWaitDurable(horizon);
     return;
   }
@@ -176,6 +186,15 @@ void TransactionManager::CommitExternalize(AgentContext* agent, Lsn horizon) {
   // dominant case on read-mostly workloads); otherwise park a deferred ack
   // and let the flusher externalize the commit when the horizon does.
   if (log_manager_->durable_lsn() >= horizon) return;
+  if (!options_.speculative_reads) {
+    // Deadline-bounded durable wait. The transaction IS committed at this
+    // point (its commit record is inserted), so an expired budget cannot
+    // abort it — instead externalization degrades to the speculative
+    // contract: park a DeferredAck and hand the acknowledgement to the
+    // flusher, freeing the agent to answer its next arrival on time.
+    if (log_manager_->WaitDurableUntil(horizon, deadline_ns)) return;
+    CountEvent(Counter::kTxnDeadlineDeferredAcks);
+  }
   DeferredAck* ack = agent->deferred_acks().Acquire();
   ack->lsn = horizon;
   ack->park_ns = NowNanos();
@@ -188,6 +207,18 @@ Status TransactionManager::Commit(AgentContext* agent) {
   ScopedComponent comp(Component::kTxn);
   Transaction& txn = agent->txn();
   if (!txn.active()) return Status::InvalidArgument("commit of inactive txn");
+
+  // Deadline gate, checked BEFORE the commit record can be inserted (after
+  // that point the transaction is committed and could not be retried
+  // without double execution). A transaction past its response budget
+  // rolls back promptly and retryably instead of occupying the log and
+  // lock release paths for a result nobody is waiting for anymore.
+  if (const uint64_t deadline_ns = txn.lock_client().deadline_ns();
+      deadline_ns != 0 && NowNanos() >= deadline_ns) {
+    Abort(agent);
+    CountEvent(Counter::kTxnDeadlineAborts);
+    return Status::TimedOut("txn deadline reached before commit");
+  }
 
   if (log_manager_ == nullptr) {
     CommitReleaseLocks(agent, 0);

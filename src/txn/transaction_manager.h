@@ -68,6 +68,16 @@ struct TxnOptions {
   /// early_lock_release is off for read-write transactions — legacy
   /// ordering holds locks across the durable wait by definition.
   bool speculative_reads = false;
+
+  /// Default per-transaction response deadline in microseconds, applied at
+  /// Begin when the agent carries none (AgentContext::set_txn_deadline_ns
+  /// overrides per arrival). The deadline caps every lock wait at
+  /// min(lock_timeout, remaining budget), converts the durable-commit wait
+  /// into a deadline-bounded wait that parks a DeferredAck on expiry (so
+  /// such consumers must drain their agent's ring, as with
+  /// speculative_reads), and makes Commit refuse — abort retryably — once
+  /// the budget has already passed. 0 (default) = no deadline.
+  uint64_t txn_deadline_us = 0;
 };
 
 class TransactionManager {

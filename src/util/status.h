@@ -23,6 +23,7 @@ class Status {
     kCorruption,      ///< internal invariant violated on disk/in memory
     kNotSupported,    ///< feature intentionally unimplemented
     kIoError,         ///< simulated or real I/O failure
+    kOverloaded,      ///< shed by admission control / wait-depth limiting
   };
 
   Status() : code_(Code::kOk) {}
@@ -58,6 +59,9 @@ class Status {
   static Status IoError(std::string msg = "") {
     return Status(Code::kIoError, std::move(msg));
   }
+  static Status Overloaded(std::string msg = "") {
+    return Status(Code::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -70,12 +74,23 @@ class Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   /// True for any status that must abort the enclosing transaction
-  /// (deadlock victim, explicit abort, lock timeout).
+  /// (deadlock victim, explicit abort, lock timeout, overload shed).
   bool ForcesAbort() const {
     return code_ == Code::kDeadlock || code_ == Code::kAborted ||
-           code_ == Code::kTimedOut;
+           code_ == Code::kTimedOut || code_ == Code::kOverloaded;
+  }
+
+  /// True when the failure is transient and the transaction can be re-run
+  /// as-is: deadlock victim, lock/deadline timeout, or an overload shed.
+  /// User aborts (kAborted) are a workload decision and caller errors
+  /// (kInvalidArgument etc.) would fail identically on retry — neither is
+  /// retryable.
+  bool retryable() const {
+    return code_ == Code::kDeadlock || code_ == Code::kTimedOut ||
+           code_ == Code::kOverloaded;
   }
 
   Code code() const { return code_; }
@@ -109,6 +124,7 @@ class Status {
       case Code::kCorruption: return "Corruption";
       case Code::kNotSupported: return "NotSupported";
       case Code::kIoError: return "IoError";
+      case Code::kOverloaded: return "Overloaded";
     }
     return "Unknown";
   }

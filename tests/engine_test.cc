@@ -196,7 +196,7 @@ TEST(EngineTest, WriteConflictSerializes) {
           break;
         }
         db.Abort(agent);
-        ASSERT_TRUE(st.IsDeadlock() || st.IsTimedOut()) << st.ToString();
+        ASSERT_TRUE(st.retryable()) << st.ToString();
       }
     }
   };

@@ -49,6 +49,17 @@ void ForceHot(LockManager& lm, LockClient& c, const LockId& id) {
   r->head->hot.ForceHot();
 }
 
+/// Poll until the client is provably parked in a lock wait — deterministic
+/// replacement for sleep-sized enqueue windows (ROADMAP test hygiene);
+/// bounded so a broken enqueue path fails rather than hangs.
+void WaitUntilBlocked(LockClient& c) {
+  for (int i = 0; i < 20'000; ++i) {
+    if (c.waiting_on().load(std::memory_order_acquire) != nullptr) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "client never entered a lock wait";
+}
+
 TEST(SliTest, HotSharedTableLockIsInherited) {
   LockManager lm(SliOptions());
   Agent a(&lm, 0);
@@ -248,8 +259,9 @@ TEST(SliTest, Criterion4WaiterBlocksInheritance) {
     EXPECT_TRUE(lm.Lock(&writer, LockId::Table(0, 1), LockMode::kX).ok());
     lm.ReleaseAll(&writer, nullptr, false);
   });
-  // Give the writer time to enqueue.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // The waiter must provably be enqueued before the commit, or the
+  // released-vs-inherited decision under test is not the one exercised.
+  WaitUntilBlocked(writer);
 
   CounterSet counters;
   {
@@ -374,7 +386,7 @@ TEST(SliTest, SliInducedDeadlockAvoidedByInvalidation) {
     a_done.store(true);
     a.Commit();
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  WaitUntilBlocked(a.client);
   EXPECT_FALSE(a_done.load());
   lm.ReleaseAll(&b, nullptr, false);
   ta.join();

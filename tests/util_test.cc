@@ -32,14 +32,29 @@ TEST(StatusTest, CodesRoundTrip) {
   EXPECT_TRUE(Status::Corruption().IsCorruption());
   EXPECT_TRUE(Status::NotSupported().IsNotSupported());
   EXPECT_TRUE(Status::IoError().IsIoError());
+  EXPECT_TRUE(Status::Overloaded().IsOverloaded());
 }
 
 TEST(StatusTest, ForcesAbortSemantics) {
   EXPECT_TRUE(Status::Deadlock().ForcesAbort());
   EXPECT_TRUE(Status::Aborted().ForcesAbort());
   EXPECT_TRUE(Status::TimedOut().ForcesAbort());
+  EXPECT_TRUE(Status::Overloaded().ForcesAbort());
   EXPECT_FALSE(Status::NotFound().ForcesAbort());
   EXPECT_FALSE(Status::OK().ForcesAbort());
+}
+
+TEST(StatusTest, RetryableClassification) {
+  // The driver's retry loop keys off this: deadlock victims, lock/deadline
+  // timeouts, and admission sheds are worth re-running; everything else
+  // (including benchmark-specified Aborted) is final.
+  EXPECT_TRUE(Status::Deadlock().retryable());
+  EXPECT_TRUE(Status::TimedOut().retryable());
+  EXPECT_TRUE(Status::Overloaded().retryable());
+  EXPECT_FALSE(Status::Aborted().retryable());
+  EXPECT_FALSE(Status::NotFound().retryable());
+  EXPECT_FALSE(Status::IoError().retryable());
+  EXPECT_FALSE(Status::OK().retryable());
 }
 
 TEST(StatusTest, MessagePropagates) {

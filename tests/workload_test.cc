@@ -376,6 +376,59 @@ TEST(DriverTest, MeasuresThroughputAndBreakdown) {
             0u);
 }
 
+TEST(DriverTest, SplitsCommitAndAbortLatency) {
+  Database db(SmallDbOptions(false));
+  Tm1Options opts;
+  opts.subscribers = 1000;
+  Tm1Workload tm1(opts);
+  tm1.Load(db);
+
+  DriverOptions dopts;
+  dopts.num_agents = 2;
+  dopts.duration_s = 0.4;
+  dopts.warmup_s = 0.1;
+  const DriverResult result = RunWorkload(db, tm1, dopts);
+
+  // TM1's mix always produces user aborts; they must land in the abort
+  // histogram and never pollute the commit latency distribution.
+  EXPECT_GT(result.latency_ns.count(), 0u);
+  EXPECT_GT(result.abort_latency_ns.count(), 0u);
+  EXPECT_GT(result.AbortRate(), 0.0);
+  EXPECT_LT(result.AbortRate(), 1.0);
+  // Without deadlines every measured commit is goodput.
+  EXPECT_EQ(result.goodput_commits, result.latency_ns.count());
+  EXPECT_EQ(result.deadline_misses, 0u);
+}
+
+TEST(DriverTest, OpenLoopRetryAndGovernorSmoke) {
+  DatabaseOptions o = SmallDbOptions(false);
+  o.governor.max_inflight = 2;
+  o.governor.max_queue = 1;
+  Database db(o);
+  Tm1Options opts;
+  opts.subscribers = 1000;
+  Tm1Workload tm1(opts);
+  tm1.Load(db);
+
+  DriverOptions dopts;
+  dopts.num_agents = 4;
+  dopts.duration_s = 0.4;
+  dopts.warmup_s = 0.1;
+  dopts.offered_tps = 2000;  // open loop: arrivals decoupled from service
+  dopts.txn_deadline_us = 50'000;
+  dopts.use_governor = true;
+  dopts.retry.max_attempts = 3;
+  dopts.retry.backoff_base_us = 50;
+  dopts.retry.backoff_cap_us = 1'000;
+  const DriverResult result = RunWorkload(db, tm1, dopts);
+
+  EXPECT_GT(result.commits, 0u);
+  EXPECT_GT(result.goodput_tps, 0.0);
+  EXPECT_LE(result.goodput_commits, result.latency_ns.count());
+  // Whatever happened under load, the token pool must end balanced.
+  EXPECT_EQ(db.governor().Stats().inflight, 0u);
+}
+
 TEST(DriverTest, SliTogglesAcrossRuns) {
   Database db(SmallDbOptions(false));
   Tm1Options opts;
